@@ -1,0 +1,184 @@
+// Command interweave regenerates every table and figure of "The Case for
+// an Interwoven Parallel Hardware/Software Stack" (SCWS/ROSS 2021) from
+// the simulated stacks in this repository.
+//
+// Usage:
+//
+//	interweave <experiment> [flags]
+//	interweave all
+//
+// Experiments:
+//
+//	nautilus    E1  §III   kernel primitives and app speedup vs Linux
+//	fig3        E2  §IV-B  achieved vs target heartbeat rate (+ -overheads, -sweep)
+//	fig4        E4  §IV-C  context switch cost family (+ -granularity)
+//	carat       E5  §IV-A  guard overhead naive vs hoisted (+ -mobility)
+//	fig6        E6  §V-A   kernel OpenMP relative performance (+ -epcc)
+//	fig7        E7  §V-B   selective coherence deactivation (+ -sweep, -ablate)
+//	virtine     E8  §IV-D  virtine start-up paths, bespoke contexts, service load
+//	pipeline    E9  §V-D   IDT vs pipeline interrupt delivery
+//	blending    E10 §V-C   interrupt-driven vs compiler-blended polling
+//	farmem      X2  §V-C   sub-page transparent far memory
+//	consistency X3  §V-B   selective fence ordering
+//	riscv       X4  §V-F   mechanisms on open RISC-V hardware
+//	paging      X5  §I/III translation-regime overheads
+//	tasks       X6  §IV-C  fine-grain task viability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	overheads := fs.Bool("overheads", false, "fig3: also print scheduling overheads")
+	granularity := fs.Bool("granularity", false, "fig4: also print granularity floors")
+	mobility := fs.Bool("mobility", false, "carat: also print heap compaction demo")
+	epcc := fs.Bool("epcc", false, "fig6: also print EPCC sync microbenchmarks")
+	sweep := fs.Bool("sweep", false, "fig7: also print scale/disaggregation sweep")
+	ablate := fs.Bool("ablate", false, "fig7: also print per-class ablation")
+	cpus := fs.Int("cpus", 16, "CPU count for CPU-parameterized experiments")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of aligned text")
+	_ = fs.Parse(os.Args[2:])
+
+	emit := func(t *core.Table) {
+		if *jsonOut {
+			fmt.Println(t.JSON())
+			return
+		}
+		fmt.Println(t)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "nautilus":
+			s := core.NewStack(*cpus)
+			s.Seed = *seed
+			emit(s.Primitives())
+		case "fig3":
+			s := core.NewStack(16)
+			s.Seed = *seed
+			cfg := core.DefaultFig3Config()
+			emit(s.Fig3(cfg))
+			if *overheads {
+				emit(s.Fig3Overheads(cfg))
+			}
+			if *sweep {
+				emit(s.Fig3Sweep(20))
+			}
+		case "fig4":
+			s := core.KNLStack(1)
+			s.Seed = *seed
+			emit(s.Fig4())
+			if *granularity {
+				emit(s.GranularityLimit(0.5))
+			}
+		case "carat":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.CARAT())
+			if *mobility {
+				emit(s.CARATMobility())
+			}
+		case "fig6":
+			s := core.KNLStack(1)
+			s.Seed = *seed
+			emit(s.Fig6(core.DefaultFig6Config()))
+			if *epcc {
+				emit(s.EPCC(*cpus))
+				emit(s.Schedules(*cpus))
+			}
+		case "fig7":
+			s := core.ServerStack()
+			s.Seed = *seed
+			emit(s.Fig7())
+			if *sweep {
+				emit(s.Fig7Sweep())
+			}
+			if *ablate {
+				emit(s.AblationSharingClasses())
+			}
+		case "virtine":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.Virtines())
+		case "pipeline":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.Pipeline())
+		case "blending":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.Blending())
+		case "farmem":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.FarMemory())
+		case "consistency":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.Consistency())
+		case "riscv":
+			s := core.NewStack(*cpus)
+			s.Seed = *seed
+			emit(s.CrossISA())
+		case "paging":
+			s := core.NewStack(1)
+			s.Seed = *seed
+			emit(s.Paging())
+		case "tasks":
+			s := core.KNLStack(1)
+			s.Seed = *seed
+			emit(s.TaskGranularity(*cpus))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	if cmd == "all" {
+		*overheads, *granularity, *mobility, *epcc, *sweep, *ablate =
+			true, true, true, true, true, true
+		for _, name := range []string{
+			"nautilus", "fig3", "fig4", "carat", "fig6", "fig7",
+			"virtine", "pipeline", "blending", "farmem", "consistency",
+			"riscv", "paging", "tasks",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(cmd)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: interweave <experiment> [flags]
+
+experiments:
+  nautilus    §III   kernel primitives and app speedup vs Linux (E1)
+  fig3        §IV-B  heartbeat rate, Nautilus vs Linux (E2; -overheads for E3)
+  fig4        §IV-C  context switch cost family (E4; -granularity)
+  carat       §IV-A  CARAT guard overhead (E5; -mobility)
+  fig6        §V-A   kernel OpenMP vs Linux OpenMP (E6; -epcc)
+  fig7        §V-B   coherence deactivation (E7; -sweep for E11, -ablate)
+  virtine     §IV-D  virtine start-up latencies (E8)
+  pipeline    §V-D   pipeline interrupt delivery (E9)
+  blending    §V-C   blended device polling (E10)
+  farmem      §V-C   sub-page transparent far memory (extension)
+  consistency §V-B   selective fence ordering (extension)
+  riscv       §V-F   interweaving mechanisms on open hardware (extension)
+  paging      §I/III translation-regime overheads (motivation)
+  tasks       §IV-C  fine-grain task viability by runtime mode
+  all                everything above with all sub-reports`)
+}

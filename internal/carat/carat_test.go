@@ -1,0 +1,285 @@
+package carat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newHeap(t *testing.T) *interp.Heap {
+	t.Helper()
+	h, err := interp.NewHeap(0x1000, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTrackAndLookup(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 256)
+	tb.TrackAlloc(0x2000, 64)
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	r, ok := tb.Lookup(0x10ff)
+	if !ok || r.Base != 0x1000 {
+		t.Fatalf("lookup = %+v, %v", r, ok)
+	}
+	if _, ok := tb.Lookup(0x1100); ok {
+		t.Fatal("lookup past region end should miss")
+	}
+	if _, ok := tb.Lookup(0x500); ok {
+		t.Fatal("lookup before all regions should miss")
+	}
+}
+
+func TestTrackFreeRemoves(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 128)
+	tb.TrackFree(0x1000)
+	if tb.Len() != 0 {
+		t.Fatal("region not removed")
+	}
+	if _, ok := tb.Lookup(0x1000); ok {
+		t.Fatal("freed region still found")
+	}
+	// Untracked free is tolerated and counted.
+	tb.TrackFree(0x9999)
+	if tb.Untracked != 1 {
+		t.Fatal("untracked free not counted")
+	}
+}
+
+func TestOverlapPanics(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overlap")
+		}
+	}()
+	tb.TrackAlloc(0x1080, 16)
+}
+
+func TestOverlapNextPanics(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overlap with next")
+		}
+	}()
+	tb.TrackAlloc(0xf80, 256)
+}
+
+func TestGuardValidAndViolation(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 64)
+	c := tb.Guard(0x1010, false)
+	if c != tb.Costs.Guard {
+		t.Fatalf("cost = %d", c)
+	}
+	if tb.Violations != 0 {
+		t.Fatal("valid access flagged")
+	}
+	tb.Guard(0x5000, false)
+	if tb.Violations != 1 {
+		t.Fatal("out-of-bounds access not flagged")
+	}
+}
+
+func TestGuardPermissions(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 64)
+	if err := tb.SetPerm(0x1000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	tb.Guard(0x1000, false)
+	if tb.Violations != 0 {
+		t.Fatal("read of read-only region flagged")
+	}
+	tb.Guard(0x1000, true)
+	if tb.Violations != 1 {
+		t.Fatal("write to read-only region not flagged")
+	}
+	if err := tb.SetPerm(0x9000, PermRW); err != ErrUntracked {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGuardRegion(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 64)
+	tb.GuardRegion(0x1000)
+	if tb.Violations != 0 || tb.RegionGuards != 1 {
+		t.Fatalf("stats: %+v", tb)
+	}
+	tb.GuardRegion(0x8000)
+	if tb.Violations != 1 {
+		t.Fatal("region guard on untracked base not flagged")
+	}
+}
+
+func TestEscapeOnlyTracksHeapPointers(t *testing.T) {
+	tb := NewTable()
+	tb.TrackAlloc(0x1000, 64)
+	tb.TrackEscape(0x1000, 0x1020) // points into region
+	tb.TrackEscape(0x1008, 12345)  // plain integer
+	if tb.Escapes() != 1 {
+		t.Fatalf("escapes = %d", tb.Escapes())
+	}
+}
+
+func TestRelocatePatchesPointers(t *testing.T) {
+	h := newHeap(t)
+	tb := NewTable()
+
+	src, _ := h.Alloc(64)
+	other, _ := h.Alloc(64)
+	tb.TrackAlloc(src, 64)
+	tb.TrackAlloc(other, 64)
+
+	// other[0] points into src; src[8] points into src itself.
+	h.Store(other, uint64(src)+16)
+	tb.TrackEscape(other, uint64(src)+16)
+	h.Store(src+8, uint64(src)+32)
+	tb.TrackEscape(src+8, uint64(src)+32)
+	h.Store(src+16, 0x777) // payload data
+
+	dst, _ := h.Alloc(64)
+	cost, err := tb.Relocate(h, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("relocation cost not accounted")
+	}
+	// External pointer patched.
+	if got := h.Load(other); got != uint64(dst)+16 {
+		t.Fatalf("external pointer = %#x, want %#x", got, uint64(dst)+16)
+	}
+	// Internal pointer moved with the region AND patched.
+	if got := h.Load(dst + 8); got != uint64(dst)+32 {
+		t.Fatalf("internal pointer = %#x, want %#x", got, uint64(dst)+32)
+	}
+	// Payload moved.
+	if got := h.Load(dst + 16); got != 0x777 {
+		t.Fatalf("payload = %#x", got)
+	}
+	// Table updated.
+	if r, ok := tb.Lookup(dst); !ok || r.Base != dst {
+		t.Fatal("table not updated")
+	}
+	if _, ok := tb.Lookup(src); ok {
+		t.Fatal("old region still tracked")
+	}
+	if tb.PointersFixed != 2 {
+		t.Fatalf("pointers fixed = %d, want 2", tb.PointersFixed)
+	}
+}
+
+func TestRelocateUntracked(t *testing.T) {
+	h := newHeap(t)
+	tb := NewTable()
+	if _, err := tb.Relocate(h, 0x4242, 0x9000); err != ErrUntracked {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompactDefragments(t *testing.T) {
+	h := newHeap(t)
+	tb := NewTable()
+
+	// Allocate scattered regions directly into the table at spread-out
+	// addresses (simulating a fragmented heap).
+	bases := []mem.Addr{0x100000, 0x180000, 0x240000, 0x300000}
+	for i, b := range bases {
+		tb.TrackAlloc(b, 64)
+		h.Store(b, uint64(i+1)) // payload marks identity
+	}
+	// A cross-region pointer: region 0 points at region 3.
+	h.Store(bases[0]+8, uint64(bases[3])+8)
+	tb.TrackEscape(bases[0]+8, uint64(bases[3])+8)
+
+	cost, err := tb.Compact(h, 0x10000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("compaction cost not accounted")
+	}
+	rs := tb.Regions()
+	if len(rs) != 4 {
+		t.Fatalf("regions = %d", len(rs))
+	}
+	// Contiguous placement from the floor.
+	want := mem.Addr(0x10000)
+	for i, r := range rs {
+		if r.Base != want {
+			t.Fatalf("region %d at %#x, want %#x", i, r.Base, want)
+		}
+		if h.Load(r.Base) != uint64(i+1) {
+			t.Fatalf("region %d payload lost", i)
+		}
+		want += mem.Addr(64)
+	}
+	// The cross-region pointer must now point at the moved region 3.
+	if got := h.Load(rs[0].Base + 8); got != uint64(rs[3].Base)+8 {
+		t.Fatalf("cross pointer = %#x, want %#x", got, uint64(rs[3].Base)+8)
+	}
+}
+
+func TestCompactBadAlign(t *testing.T) {
+	tb := NewTable()
+	if _, err := tb.Compact(newHeap(t), 0, 3); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}
+
+// TestTableRandomConsistency: after random tracked alloc/free sequences,
+// every live base is found by Lookup, every freed one is not, and the
+// region list stays sorted and non-overlapping.
+func TestTableRandomConsistency(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		tb := NewTable()
+		live := make(map[mem.Addr]uint64)
+		next := mem.Addr(0x1000)
+		for step := 0; step < 300; step++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := uint64(rng.Intn(500) + 1)
+				tb.TrackAlloc(next, size)
+				live[next] = size
+				next += mem.Addr(size + uint64(rng.Intn(64)))
+			} else {
+				for b := range live {
+					tb.TrackFree(b)
+					delete(live, b)
+					break
+				}
+			}
+		}
+		for b, sz := range live {
+			if r, ok := tb.Lookup(b + mem.Addr(sz/2)); !ok || r.Base != b {
+				return false
+			}
+		}
+		rs := tb.Regions()
+		if len(rs) != len(live) {
+			return false
+		}
+		for i := 1; i < len(rs); i++ {
+			if rs[i-1].Base+mem.Addr(rs[i-1].Size) > rs[i].Base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package coherence implements a directory-based MESI cache-coherence
+// simulator for a multi-socket mesh CMP, extended with the paper's
+// *selective coherence deactivation* (§V-B): regions whose sharing
+// semantics are known from the high-level language (private, read-only,
+// producer→consumer) opt out of the reactive protocol, eliminating
+// directory indirection, invalidation traffic, and interconnect energy.
+//
+// The paper evaluated this in Sniper with PBBS benchmarks compiled by a
+// modified MPL Parallel ML; here the same protocol logic runs on
+// deterministic access traces from internal/workloads.
+package coherence
+
+import "repro/internal/mem"
+
+// LineState is the MESI state of a line in a private cache.
+type LineState uint8
+
+// MESI states.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Modified:
+		return "M"
+	case Exclusive:
+		return "E"
+	case Shared:
+		return "S"
+	default:
+		return "I"
+	}
+}
+
+type cacheLine struct {
+	tag   uint64
+	state LineState
+	lru   uint64
+}
+
+// Cache is one set-associative cache level with LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	lines     [][]cacheLine
+	tick      uint64
+
+	Hits, Misses uint64
+}
+
+// NewCache builds a cache of the given total size (bytes), associativity
+// and line size.
+func NewCache(sizeBytes, ways, lineSize int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		panic("coherence: bad cache geometry")
+	}
+	lineShift := uint(0)
+	for 1<<lineShift < lineSize {
+		lineShift++
+	}
+	sets := sizeBytes / (ways * lineSize)
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{sets: sets, ways: ways, lineShift: lineShift}
+	c.lines = make([][]cacheLine, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// LineAddr returns the line-aligned address for a.
+func (c *Cache) LineAddr(a mem.Addr) uint64 { return uint64(a) >> c.lineShift }
+
+func (c *Cache) set(line uint64) []cacheLine {
+	return c.lines[line%uint64(c.sets)]
+}
+
+// Lookup returns the line's state (Invalid if absent), touching LRU.
+func (c *Cache) Lookup(line uint64) LineState {
+	c.tick++
+	for i := range c.set(line) {
+		l := &c.set(line)[i]
+		if l.state != Invalid && l.tag == line {
+			l.lru = c.tick
+			c.Hits++
+			return l.state
+		}
+	}
+	c.Misses++
+	return Invalid
+}
+
+// Peek returns the state without touching LRU or counters.
+func (c *Cache) Peek(line uint64) LineState {
+	for i := range c.set(line) {
+		l := &c.set(line)[i]
+		if l.state != Invalid && l.tag == line {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// SetState updates or removes a present line's state (no fill).
+func (c *Cache) SetState(line uint64, s LineState) {
+	for i := range c.set(line) {
+		l := &c.set(line)[i]
+		if l.state != Invalid && l.tag == line {
+			l.state = s
+			return
+		}
+	}
+}
+
+// Fill installs a line, evicting LRU if needed. It returns the evicted
+// line number and its state (state Invalid if no eviction occurred).
+func (c *Cache) Fill(line uint64, s LineState) (evicted uint64, evictedState LineState) {
+	c.tick++
+	set := c.set(line)
+	// Already present: update.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			set[i].state = s
+			set[i].lru = c.tick
+			return 0, Invalid
+		}
+	}
+	victim := 0
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	ev, evs := set[victim].tag, set[victim].state
+	set[victim] = cacheLine{tag: line, state: s, lru: c.tick}
+	if evs == Invalid {
+		return 0, Invalid
+	}
+	return ev, evs
+}
+
+// Invalidate removes a line, returning its prior state.
+func (c *Cache) Invalidate(line uint64) LineState {
+	for i := range c.set(line) {
+		l := &c.set(line)[i]
+		if l.state != Invalid && l.tag == line {
+			s := l.state
+			l.state = Invalid
+			return s
+		}
+	}
+	return Invalid
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// pipelineResult adapts pipeline.Compare for the table layer.
+type pipelineResult struct {
+	idtMean, pipeMean float64
+	idtP99, pipeP99   float64
+	idtGran, pipeGran int64
+}
+
+func pipelineCompare(s *Stack) pipelineResult {
+	cfg := pipeline.DefaultConfig()
+	cfg.Seed = s.Seed
+	r := pipeline.Compare(s.Model, cfg)
+	idtG, pipeG := pipeline.MinGranularity(s.Model, 0.05)
+	return pipelineResult{
+		idtMean: r.IDT.Mean, pipeMean: r.Pipeline.Mean,
+		idtP99: r.IDT.P99, pipeP99: r.Pipeline.P99,
+		idtGran: idtG, pipeGran: pipeG,
+	}
+}
+
+// Blending regenerates the §V-C proof of concept: a device whose
+// normally interrupt-driven logic is replaced by compiler-injected
+// constant-time poll checks distributed through the running code. The
+// device "appears to behave as if it were interrupt-driven, but no
+// interrupts ever occur".
+//
+// The polled variant is built for real: the poll-blending compiler pass
+// injects OpPoll checks into a compute kernel, and the interpreter's
+// poll hook services a synthetic packet arrival schedule. The
+// interrupt-driven baseline pays the dispatch path per packet.
+func (s *Stack) Blending() *Table {
+	t := &Table{
+		ID:     "blending",
+		Title:  "Blended device driver: interrupts vs compiler-injected polling",
+		Header: []string{"design", "mean svc latency (cyc)", "p99 (cyc)", "interrupts", "overhead"},
+	}
+	const arrivalEvery = 20_000 // cycles between packet arrivals
+	const handlerCost = 300     // device service work per packet
+
+	// --- Polled variant: real pass + real execution. ---
+	k := workloads.CARATSuite()[0] // stream-triad: loop-dense host code
+	m := k.Build()
+	// ChunkLoops amortizes the poll to once per ~1000 cycles of work
+	// (the paper's "constant-time poll check" injected "throughout the
+	// kernel using compiler-based timing").
+	pollPass := &passes.TimingInject{TargetCycles: 1_000, Op: ir.OpPoll, ChunkLoops: true}
+	if err := passes.RunAll(m, pollPass); err != nil {
+		panic(err)
+	}
+	ip, err := interp.New(m)
+	if err != nil {
+		panic(err)
+	}
+	var latencies []float64
+	var nextArrival int64 = arrivalEvery
+	served := 0
+	var pollOverhead int64
+	ip.Hooks.Poll = func() int64 {
+		now := ip.Stats.Cycles
+		cost := int64(4) // constant-time poll check
+		for nextArrival <= now {
+			latencies = append(latencies, float64(now-nextArrival))
+			served++
+			cost += handlerCost
+			nextArrival += arrivalEvery
+		}
+		pollOverhead += 4
+		return cost
+	}
+	if _, err := ip.Call(k.Entry); err != nil {
+		panic(err)
+	}
+	totalCycles := ip.Stats.Cycles
+	pollSummary := stats.Summarize(latencies)
+	pollOvhFrac := float64(pollOverhead) / float64(totalCycles)
+	t.AddRow("blended polling", f1(pollSummary.Mean), f1(pollSummary.P99), "0", pct(pollOvhFrac))
+
+	// --- Interrupt-driven baseline over the same duration. ---
+	nPackets := served
+	if nPackets == 0 {
+		nPackets = 1
+	}
+	hw := s.Model.HW
+	intrLat := float64(hw.InterruptDispatch)
+	intrOvhFrac := float64(int64(nPackets)*(hw.InterruptDispatch+hw.InterruptReturn)) / float64(totalCycles)
+	t.AddRow("interrupt-driven", f1(intrLat), f1(intrLat), i64(int64(nPackets)), pct(intrOvhFrac))
+
+	t.AddRow("packets served", i64(int64(served)), "", "", "")
+	t.AddNote("polling latency is bounded by the injected check spacing (~%d cycles target); the polled design takes zero interrupts", 1_000)
+	t.AddNote("with pipeline interrupts (§V-D) the interrupt-driven latency would drop to branch cost — the two mitigations compose")
+	return t
+}

@@ -1,0 +1,155 @@
+// Package core is the public face of the reproduction: it composes the
+// compiler passes, runtimes, kernels, and hardware models of internal/*
+// into the interwoven stacks the paper describes, and provides one
+// harness per table/figure that regenerates the paper's results.
+//
+// The paper's primary contribution is the *interweaving model* itself —
+// custom integration of functionality formerly kept distinct at each
+// layer. Stack is that model made concrete: a builder that selects a
+// hardware platform, a kernel timing discipline, compiler passes, and a
+// runtime, and wires them together.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Table is a printable experiment result, shaped like the paper's
+// figures' underlying data.
+type Table struct {
+	ID     string // experiment id, e.g. "fig3"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// JSON renders the table as a JSON object for downstream tooling.
+func (t *Table) JSON() string {
+	b, err := json.MarshalIndent(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+	if err != nil {
+		// The table is plain strings; marshalling cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Stack is the interweaving builder: it fixes a platform model,
+// topology, and seed, and constructs the simulated machine the layered
+// components run on.
+type Stack struct {
+	Model model.Model
+	Topo  machine.Topology
+	Seed  uint64
+}
+
+// NewStack returns a stack on the default 1 GHz platform with the given
+// CPU count (single socket).
+func NewStack(cpus int) *Stack {
+	return &Stack{
+		Model: model.Default(),
+		Topo:  machine.Topology{Sockets: 1, CoresPerSocket: cpus},
+		Seed:  42,
+	}
+}
+
+// KNLStack returns a Xeon-Phi-KNL-like stack (Fig. 4 / Fig. 6 platform).
+func KNLStack(cpus int) *Stack {
+	s := NewStack(cpus)
+	s.Model = model.KNL()
+	return s
+}
+
+// ServerStack returns the dual-socket server stack (Fig. 7 platform).
+func ServerStack() *Stack {
+	return &Stack{
+		Model: model.Server(),
+		Topo:  machine.Topology{Sockets: 2, CoresPerSocket: 12},
+		Seed:  42,
+	}
+}
+
+// Build instantiates a fresh engine and machine for one experiment run.
+func (s *Stack) Build() (*sim.Engine, *machine.Machine) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, s.Model, s.Topo, s.Seed)
+	return eng, m
+}
+
+// us formats cycles as microseconds under the stack's clock.
+func (s *Stack) us(c int64) string {
+	return fmt.Sprintf("%.1fµs", s.Model.CyclesToMicros(c))
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// f2 formats with two decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// f1 formats with one decimal.
+func f1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+// i64 formats an integer.
+func i64(v int64) string { return fmt.Sprintf("%d", v) }

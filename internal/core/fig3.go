@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heartbeat"
+	"repro/internal/stats"
+)
+
+// Fig3Config parameterizes the heartbeat-rate experiment.
+type Fig3Config struct {
+	CPUs int
+	// PeriodsUS are the heartbeat targets ♥ in microseconds.
+	PeriodsUS []float64
+	// Items/CyclesPerItem/Grain shape the TPAL workload.
+	Items         int64
+	CyclesPerItem int64
+	Grain         int64
+}
+
+// DefaultFig3Config matches the paper: 16 CPUs, ♥ ∈ {20 µs, 100 µs}.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		CPUs:          16,
+		PeriodsUS:     []float64{20, 100},
+		Items:         4_000_000,
+		CyclesPerItem: 40,
+		Grain:         64,
+	}
+}
+
+// Fig3 regenerates Figure 3: achieved vs target heartbeat rate for
+// Nautilus (LAPIC+IPI) and Linux (signals) at each ♥, plus rate
+// stability (coefficient of variation of inter-beat gaps).
+func (s *Stack) Fig3(cfg Fig3Config) *Table {
+	t := &Table{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Achieved vs target heartbeat rate (%d CPUs)", cfg.CPUs),
+		Header: []string{"substrate", "target ♥", "target rate/Mcyc", "achieved rate/Mcyc", "achieved/target", "gap CV"},
+	}
+	for _, us := range cfg.PeriodsUS {
+		period := s.Model.MicrosToCycles(us)
+		target := 1e6 / float64(period)
+		for _, sub := range []heartbeat.Substrate{heartbeat.SubstrateNautilusIPI, heartbeat.SubstrateLinuxSignals} {
+			rt := s.heartbeatRun(cfg, sub, period)
+			rates := rt.AchievedRates()
+			achieved := stats.Mean(rates)
+			cv := stats.CoefVar(rt.InterBeatGaps())
+			t.AddRow(sub.String(), fmt.Sprintf("%.0fµs", us),
+				f1(target), f1(achieved), f2(achieved/target), f2(cv))
+		}
+	}
+	t.AddNote("paper: Nautilus hits the target with a consistent, stable rate at both 100µs and 20µs; the best Linux mechanism cannot sustain the rate even at 100µs and 16 CPUs")
+	return t
+}
+
+// Fig3Overheads regenerates the §IV-B overhead comparison: TPAL
+// scheduling overhead under the Nautilus interrupt substrate versus the
+// best Linux mechanism (software polling), at ♥ = 100 µs.
+func (s *Stack) Fig3Overheads(cfg Fig3Config) *Table {
+	t := &Table{
+		ID:     "fig3-overheads",
+		Title:  "Heartbeat scheduling overhead (♥ = 100µs)",
+		Header: []string{"substrate", "overhead", "promotions", "completion (Mcyc)"},
+	}
+	period := s.Model.MicrosToCycles(100)
+	for _, sub := range []heartbeat.Substrate{
+		heartbeat.SubstrateNautilusIPI,
+		heartbeat.SubstrateLinuxPolling,
+	} {
+		rt := s.heartbeatRun(cfg, sub, period)
+		var promos int64
+		for i := 0; i < rt.NumWorkers(); i++ {
+			promos += rt.WorkerStats(i).Promotions
+		}
+		t.AddRow(sub.String(), pct(rt.OverheadFraction()), i64(promos),
+			f1(float64(rt.DoneAt())/1e6))
+	}
+	t.AddNote("paper: scheduling overheads are 13-22%% on Linux, and reduce to at most 4.9%% in Nautilus")
+	return t
+}
+
+func (s *Stack) heartbeatRun(cfg Fig3Config, sub heartbeat.Substrate, period int64) *heartbeat.Runtime {
+	st := *s
+	st.Topo.Sockets = 1
+	st.Topo.CoresPerSocket = cfg.CPUs
+	_, m := st.Build()
+	hcfg := heartbeat.DefaultConfig()
+	hcfg.Substrate = sub
+	hcfg.PeriodCycles = period
+	hcfg.Seed = s.Seed
+	rt := heartbeat.New(m, hcfg)
+	rt.Run(cfg.Items, cfg.CyclesPerItem, cfg.Grain)
+	return rt
+}
+
+// Fig3Sweep regenerates the scale dimension of §IV-B: the Linux pacer
+// serializes one pthread_kill per worker, so its achievable rate decays
+// as CPUs grow, while the Nautilus IPI broadcast holds the target.
+func (s *Stack) Fig3Sweep(periodUS float64) *Table {
+	t := &Table{
+		ID:     "fig3-sweep",
+		Title:  fmt.Sprintf("Heartbeat rate vs CPU count (♥ = %.0fµs)", periodUS),
+		Header: []string{"CPUs", "nautilus achieved/target", "linux achieved/target"},
+	}
+	for _, cpus := range []int{8, 16, 32, 64, 128} {
+		cfg := DefaultFig3Config()
+		cfg.CPUs = cpus
+		cfg.Items = 1_500_000
+		period := s.Model.MicrosToCycles(periodUS)
+		target := 1e6 / float64(period)
+		row := []string{i64(int64(cpus))}
+		for _, sub := range []heartbeat.Substrate{heartbeat.SubstrateNautilusIPI, heartbeat.SubstrateLinuxSignals} {
+			rt := s.heartbeatRun(cfg, sub, period)
+			row = append(row, f2(stats.Mean(rt.AchievedRates())/target))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("below ~32 CPUs the kernel timer floor binds; beyond it the pacer's serialized per-worker signaling compounds, while the LAPIC broadcast holds the target at every scale")
+	return t
+}

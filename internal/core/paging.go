@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// Paging regenerates the paper's §I motivating limitation: "current
+// hardware/software stacks for parallelism require virtual memory in the
+// form of paging, which then demands the existence of TLBs ... these in
+// turn have substantial overheads in time and energy". It runs the CARAT
+// kernel suite under three translation regimes:
+//
+//   - demand 4K paging (the commodity stack): TLB misses + page faults;
+//   - identity-mapped large pages (Nautilus, §III): misses vanish once
+//     the TLB reach covers the footprint;
+//   - no translation at all (CARAT, §IV-A): physical addresses, zero
+//     hardware translation cost — protection comes from the compiler.
+func (s *Stack) Paging() *Table {
+	t := &Table{
+		ID:     "paging",
+		Title:  "Address translation overhead by regime",
+		Header: []string{"kernel", "4K demand ovh", "identity-large ovh", "CARAT (none) ovh", "4K TLB miss rate"},
+	}
+	for _, k := range workloads.CARATSuite() {
+		base := s.pagingRun(k, nil)
+		demand := mem.NewPagingCost(mem.PagingDemand4K, mem.NewTLB(16, 4, 12),
+			s.Model.HW.TLBMiss, 4000)
+		d := s.pagingRun(k, demand)
+		ident := mem.NewPagingCost(mem.PagingIdentityLarge, mem.NewTLB(16, 4, 30),
+			s.Model.HW.TLBMiss, 0)
+		ide := s.pagingRun(k, ident)
+		none := mem.NewPagingCost(mem.PagingNone, nil, 0, 0)
+		n := s.pagingRun(k, none)
+
+		ovh := func(c int64) float64 { return float64(c-base) / float64(base) }
+		t.AddRow(k.Name, pct(ovh(d)), pct(ovh(ide)), pct(ovh(n)),
+			pct(demand.TLB.MissRate()))
+	}
+	t.AddNote("identity-mapped large pages make TLB misses vanish after warm-up (§III); CARAT removes translation hardware entirely (§IV-A)")
+	return t
+}
+
+// pagingRun executes a kernel with the given translation model attached
+// to every memory access, returning total cycles.
+func (s *Stack) pagingRun(k workloads.IRKernel, pc *mem.PagingCost) int64 {
+	m := k.Build()
+	ip, err := interp.New(m)
+	if err != nil {
+		panic(err)
+	}
+	if pc != nil {
+		ip.Hooks.MemAccess = func(a mem.Addr, write bool) int64 {
+			return pc.Access(a)
+		}
+	}
+	if _, err := ip.Call(k.Entry); err != nil {
+		panic(err)
+	}
+	return ip.Stats.Cycles
+}

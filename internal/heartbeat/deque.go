@@ -1,0 +1,118 @@
+// Package heartbeat implements TPAL-style heartbeat scheduling (§IV-B):
+// a work-stealing runtime whose workers expose all latent parallelism
+// but only *promote* it to actual parallel tasks when a periodic
+// heartbeat arrives — bounding scheduling overhead while guaranteeing
+// parallelism is surfaced at rate ♥.
+//
+// Three signaling substrates drive the heartbeat, mirroring Fig. 2:
+//
+//   - Nautilus: LAPIC timer on CPU 0 broadcast by IPI to all workers,
+//     promoted directly in the interrupt handler;
+//   - Linux signals: a pacer thread pthread_kills workers (timer floors,
+//     jitter, coalescing, heavy-tailed noise apply);
+//   - Linux polling: compiler-inserted heartbeat polls at loop
+//     boundaries (the software fallback whose overhead the paper reports
+//     as 13–22%).
+package heartbeat
+
+import "fmt"
+
+// Frame is a promotable unit of latent parallelism: a range of loop
+// iterations executing sequentially until a heartbeat splits it.
+type Frame struct {
+	Lo, Hi        int64 // remaining iteration range [Lo, Hi)
+	CyclesPerItem int64 // work per iteration
+	Grain         int64 // minimum items worth splitting off
+}
+
+// Remaining returns the number of iterations left.
+func (f *Frame) Remaining() int64 { return f.Hi - f.Lo }
+
+// Splittable reports whether promotion can usefully divide the frame.
+func (f *Frame) Splittable() bool { return f.Remaining() >= 2*f.Grain }
+
+// Split divides the frame in half, returning the new upper half.
+func (f *Frame) Split() *Frame {
+	return f.SplitAbove(f.Lo)
+}
+
+// SplitAbove divides the part of the frame above floor in half and
+// returns the new upper half, or nil if that part is too small to be
+// worth splitting. Promotion uses the floor to avoid cutting into the
+// iteration slice a worker is executing right now.
+func (f *Frame) SplitAbove(floor int64) *Frame {
+	lo := f.Lo
+	if floor > lo {
+		lo = floor
+	}
+	if f.Hi-lo < 2*f.Grain {
+		return nil
+	}
+	mid := lo + (f.Hi-lo)/2
+	upper := &Frame{Lo: mid, Hi: f.Hi, CyclesPerItem: f.CyclesPerItem, Grain: f.Grain}
+	f.Hi = mid
+	return upper
+}
+
+// Deque is a work-stealing deque with Chase–Lev semantics: the owner
+// pushes and pops at the bottom; thieves steal from the top. The
+// simulation is single-threaded, so no atomics are needed, but the
+// access discipline (owner bottom, thief top) is preserved because it
+// determines *which* task moves — the locality property work stealing
+// depends on.
+type Deque struct {
+	items []*Frame
+	top   int // steal end index into items
+	// Stats.
+	Pushes, Pops, Steals int64
+}
+
+// NewDeque returns an empty deque.
+func NewDeque() *Deque { return &Deque{} }
+
+// Len returns the number of queued frames.
+func (d *Deque) Len() int { return len(d.items) - d.top }
+
+// PushBottom adds a frame at the owner end.
+func (d *Deque) PushBottom(f *Frame) {
+	d.items = append(d.items, f)
+	d.Pushes++
+}
+
+// PopBottom removes the most recently pushed frame (owner end).
+func (d *Deque) PopBottom() *Frame {
+	if d.Len() == 0 {
+		return nil
+	}
+	f := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	d.Pops++
+	d.compact()
+	return f
+}
+
+// StealTop removes the oldest frame (thief end) — the largest, most
+// cache-cold work, which is why stealing from the top is right.
+func (d *Deque) StealTop() *Frame {
+	if d.Len() == 0 {
+		return nil
+	}
+	f := d.items[d.top]
+	d.items[d.top] = nil
+	d.top++
+	d.Steals++
+	d.compact()
+	return f
+}
+
+func (d *Deque) compact() {
+	if d.top > 32 && d.top*2 > len(d.items) {
+		d.items = append([]*Frame(nil), d.items[d.top:]...)
+		d.top = 0
+	}
+}
+
+// String renders the deque state for debugging.
+func (d *Deque) String() string {
+	return fmt.Sprintf("deque{len=%d pushes=%d pops=%d steals=%d}", d.Len(), d.Pushes, d.Pops, d.Steals)
+}

@@ -1,0 +1,389 @@
+package heartbeat
+
+import (
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Substrate selects the heartbeat signaling mechanism (Fig. 2).
+type Substrate int
+
+const (
+	// SubstrateNautilusIPI: LAPIC timer on CPU 0, IPI broadcast,
+	// promotion directly in the interrupt handler.
+	SubstrateNautilusIPI Substrate = iota
+	// SubstrateLinuxSignals: pacer thread + pthread_kill + POSIX signal
+	// delivery, with the kernel's timer floors, jitter and coalescing.
+	SubstrateLinuxSignals
+	// SubstrateLinuxPolling: compiler-inserted heartbeat polls at loop
+	// boundaries; no asynchronous events at all.
+	SubstrateLinuxPolling
+)
+
+// String names the substrate for reports.
+func (s Substrate) String() string {
+	switch s {
+	case SubstrateNautilusIPI:
+		return "nautilus-ipi"
+	case SubstrateLinuxSignals:
+		return "linux-signals"
+	default:
+		return "linux-polling"
+	}
+}
+
+// Config parameterizes one heartbeat runtime instance.
+type Config struct {
+	Substrate Substrate
+	// PeriodCycles is the heartbeat period ♥ in cycles.
+	PeriodCycles int64
+	// PromoteCost is the cycles to split a frame and publish it.
+	PromoteCost int64
+	// StealCost is the cycles per steal attempt (CAS + line transfer).
+	StealCost int64
+	// IdleBackoff is the re-poll gap for an idle worker.
+	IdleBackoff int64
+	// PollCost is the per-poll check cost (polling substrate).
+	PollCost int64
+	// PollEveryItems is how many loop iterations between compiler-
+	// inserted polls (polling substrate).
+	PollEveryItems int64
+	// SliceItems bounds how many iterations a worker executes between
+	// runtime events (execution granularity of the simulation).
+	SliceItems int64
+	// Seed fixes victim selection.
+	Seed uint64
+}
+
+// DefaultConfig returns a TPAL-like configuration at ♥ = 100 µs (in
+// cycles of a 1 GHz clock).
+func DefaultConfig() Config {
+	return Config{
+		Substrate:    SubstrateNautilusIPI,
+		PeriodCycles: 100_000,
+		PromoteCost:  450,
+		StealCost:    220,
+		IdleBackoff:  400,
+		// Polling substrate: TPAL's compiler-inserted software polls
+		// check every couple of iterations and spill registers around
+		// the check, which is what drives Linux's 13–22% overhead.
+		PollCost:       12,
+		PollEveryItems: 2,
+		SliceItems:     64,
+		Seed:           1,
+	}
+}
+
+// WorkerStats accumulates per-worker accounting.
+type WorkerStats struct {
+	Items         int64
+	WorkCycles    int64
+	Promotions    int64
+	PromoteCycles int64
+	StealAttempts int64
+	StealHits     int64
+	StealCycles   int64
+	PollCycles    int64
+	Beats         []sim.Time // heartbeat arrival timestamps
+}
+
+// worker is one TPAL worker bound to a CPU.
+type worker struct {
+	rt    *Runtime
+	id    int
+	cpu   *machine.CPU
+	deque *Deque
+	cur   *Frame
+	rng   *sim.RNG
+
+	// sliceEnd is the first iteration index NOT covered by the slice in
+	// flight; promotion may only split above it.
+	sliceEnd int64
+	lastPoll sim.Time
+	stats    WorkerStats
+}
+
+// Runtime is one heartbeat-scheduling instance across the machine.
+type Runtime struct {
+	M   *machine.Machine
+	Cfg Config
+	L   *linux.Stack // present for the Linux substrates
+
+	workers   []*worker
+	remaining int64 // items not yet executed, for termination
+	doneAt    sim.Time
+	running   bool
+	pacer     *linux.HeartbeatPacer
+
+	// TotalItems is the workload size (set by Run).
+	TotalItems int64
+}
+
+// New creates a runtime with one worker per machine CPU.
+func New(m *machine.Machine, cfg Config) *Runtime {
+	rt := &Runtime{M: m, Cfg: cfg}
+	if cfg.Substrate != SubstrateNautilusIPI {
+		rt.L = linux.New(m, cfg.Seed^0x5eed)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	for i, cpu := range m.CPUs {
+		w := &worker{rt: rt, id: i, cpu: cpu, deque: NewDeque(), rng: rng.Split()}
+		rt.workers = append(rt.workers, w)
+	}
+	return rt
+}
+
+// Run executes a parallel range of totalItems iterations, each costing
+// cyclesPerItem, with the given minimum grain. It installs the heartbeat
+// substrate, seeds worker 0 with the whole range, and returns when the
+// work is complete (the engine is run to completion internally).
+func (rt *Runtime) Run(totalItems, cyclesPerItem, grain int64) {
+	rt.TotalItems = totalItems
+	rt.remaining = totalItems
+	rt.running = true
+	root := &Frame{Lo: 0, Hi: totalItems, CyclesPerItem: cyclesPerItem, Grain: grain}
+	rt.workers[0].deque.PushBottom(root)
+
+	rt.installSubstrate()
+	for _, w := range rt.workers {
+		w.step()
+	}
+	rt.M.Eng.Run()
+}
+
+// DoneAt returns the completion timestamp.
+func (rt *Runtime) DoneAt() sim.Time { return rt.doneAt }
+
+// WorkerStats returns worker i's accounting.
+func (rt *Runtime) WorkerStats(i int) *WorkerStats { return &rt.workers[i].stats }
+
+// NumWorkers returns the worker count.
+func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
+
+func (rt *Runtime) installSubstrate() {
+	switch rt.Cfg.Substrate {
+	case SubstrateNautilusIPI:
+		// Workers: promotion in the IPI handler.
+		for _, w := range rt.workers {
+			w := w
+			w.cpu.SetHandler(machine.VecHeartbeat, func(ctx *machine.IntrContext) {
+				w.onBeat(ctx)
+			})
+		}
+		// CPU 0: LAPIC timer handler broadcasts; CPU 0 is also a worker
+		// and promotes itself.
+		cpu0 := rt.M.CPU(0)
+		cpu0.SetHandler(machine.VecTimer, func(ctx *machine.IntrContext) {
+			ctx.AddCost(40) // timer ack + broadcast setup
+			cpu0.BroadcastIPI(machine.VecHeartbeat)
+			rt.workers[0].onBeat(ctx)
+		})
+		cpu0.APIC().Periodic(rt.Cfg.PeriodCycles, machine.VecTimer)
+
+	case SubstrateLinuxSignals:
+		// A pacer on CPU 0 signals workers 1..N-1 (CPU 0 hosts the
+		// pacer thread itself, as TPAL does on Linux); deliveries raise
+		// a "signal" interrupt whose handler pays the kernel's signal
+		// path on top of dispatch.
+		var workerCPUs []int
+		for i := 1; i < len(rt.workers); i++ {
+			workerCPUs = append(workerCPUs, i)
+		}
+		extra := rt.L.Model.Linux.SignalDeliver + rt.L.Model.Linux.SignalReturn
+		for _, i := range workerCPUs {
+			w := rt.workers[i]
+			w.cpu.SetHandler(machine.VecHeartbeat, func(ctx *machine.IntrContext) {
+				ctx.AddCost(extra)
+				w.onBeat(ctx)
+			})
+		}
+		rt.pacer = &linux.HeartbeatPacer{
+			S:            rt.L,
+			Workers:      workerCPUs,
+			PeriodCycles: rt.Cfg.PeriodCycles,
+			HandlerCost:  rt.Cfg.PromoteCost,
+			OnBeat: func(idx int, _ sim.Time) {
+				rt.workers[workerCPUs[idx]].cpu.Raise(machine.VecHeartbeat)
+			},
+		}
+		rt.pacer.Start()
+
+	case SubstrateLinuxPolling:
+		// Nothing to install: polls are folded into worker execution.
+	}
+}
+
+// onBeat is the promotion executed when a heartbeat reaches a worker.
+func (w *worker) onBeat(ctx *machine.IntrContext) {
+	w.stats.Beats = append(w.stats.Beats, w.rt.M.Eng.Now())
+	if w.cur != nil {
+		if upper := w.cur.SplitAbove(w.sliceEnd); upper != nil {
+			w.deque.PushBottom(upper)
+			w.stats.Promotions++
+			w.stats.PromoteCycles += w.rt.Cfg.PromoteCost
+			ctx.AddCost(w.rt.Cfg.PromoteCost)
+			return
+		}
+	}
+	// Nothing to promote: the check itself is nearly free.
+	ctx.AddCost(20)
+}
+
+// step advances the worker's state machine: find work, execute a slice,
+// repeat. All blocking is via engine events.
+func (w *worker) step() {
+	rt := w.rt
+	if !rt.running {
+		return
+	}
+	if w.cur == nil {
+		if f := w.deque.PopBottom(); f != nil {
+			w.cur = f
+			w.sliceEnd = 0
+		} else if f := w.steal(); f != nil {
+			w.cur = f
+			w.sliceEnd = 0
+		} else {
+			// Idle: back off and retry.
+			rt.M.Eng.After(sim.Time(rt.Cfg.IdleBackoff), w.step)
+			return
+		}
+	}
+	w.execSlice()
+}
+
+// steal picks a random victim and tries to take the top of its deque.
+func (w *worker) steal() *Frame {
+	rt := w.rt
+	n := len(rt.workers)
+	if n == 1 {
+		return nil
+	}
+	w.stats.StealAttempts++
+	w.stats.StealCycles += rt.Cfg.StealCost
+	victim := rt.workers[(w.id+1+w.rng.Intn(n-1))%n]
+	if f := victim.deque.StealTop(); f != nil {
+		w.stats.StealHits++
+		return f
+	}
+	return nil
+}
+
+// execSlice runs up to SliceItems iterations of the current frame.
+func (w *worker) execSlice() {
+	rt := w.rt
+	f := w.cur
+	items := rt.Cfg.SliceItems
+	if items > f.Remaining() {
+		items = f.Remaining()
+	}
+	w.sliceEnd = f.Lo + items
+	cost := items * f.CyclesPerItem
+	// Polling substrate: compiler-inserted poll checks at loop
+	// boundaries, plus promotion when the period elapsed.
+	if rt.Cfg.Substrate == SubstrateLinuxPolling && rt.Cfg.PollEveryItems > 0 {
+		polls := items / rt.Cfg.PollEveryItems
+		pc := polls * rt.Cfg.PollCost
+		cost += pc
+		w.stats.PollCycles += pc
+	}
+	w.cpu.Run(cost, func() {
+		f.Lo += items
+		w.stats.Items += items
+		w.stats.WorkCycles += items * f.CyclesPerItem
+		rt.remaining -= items
+		if rt.Cfg.Substrate == SubstrateLinuxPolling {
+			now := rt.M.Eng.Now()
+			if now.Sub(w.lastPoll) >= rt.Cfg.PeriodCycles {
+				w.lastPoll = now
+				w.pollBeat()
+			}
+		}
+		if f.Remaining() == 0 {
+			w.cur = nil
+		}
+		if rt.remaining <= 0 {
+			rt.finish()
+			return
+		}
+		w.step()
+	})
+}
+
+// pollBeat is the polling substrate's promotion point.
+func (w *worker) pollBeat() {
+	w.stats.Beats = append(w.stats.Beats, w.rt.M.Eng.Now())
+	if w.cur != nil {
+		upper := w.cur.SplitAbove(w.sliceEnd)
+		if upper == nil {
+			return
+		}
+		w.deque.PushBottom(upper)
+		w.stats.Promotions++
+		w.stats.PromoteCycles += w.rt.Cfg.PromoteCost
+		// Promotion cost is paid inline on the worker.
+		w.stats.PollCycles += w.rt.Cfg.PromoteCost
+	}
+}
+
+// finish stops the substrate and halts the engine.
+func (rt *Runtime) finish() {
+	if !rt.running {
+		return
+	}
+	rt.running = false
+	rt.doneAt = rt.M.Eng.Now()
+	rt.M.CPU(0).APIC().Stop()
+	if rt.pacer != nil {
+		rt.pacer.Stop()
+	}
+	rt.M.Eng.Halt()
+}
+
+// OverheadFraction returns scheduling overhead as a fraction of total
+// consumed cycles: everything that is not useful item work (promotion,
+// polls, steals, interrupt dispatch, handler bookkeeping).
+func (rt *Runtime) OverheadFraction() float64 {
+	var useful, overhead int64
+	for _, w := range rt.workers {
+		useful += w.stats.WorkCycles
+		overhead += w.stats.PromoteCycles + w.stats.StealCycles + w.stats.PollCycles
+		overhead += w.cpu.Stats.DispatchCycles + w.cpu.Stats.HandlerCycles
+	}
+	if useful == 0 {
+		return 0
+	}
+	return float64(overhead) / float64(useful+overhead)
+}
+
+// AchievedRates returns, per worker that observed beats, the achieved
+// heartbeat rate in beats per million cycles.
+func (rt *Runtime) AchievedRates() []float64 {
+	var out []float64
+	for _, w := range rt.workers {
+		b := w.stats.Beats
+		if len(b) < 2 {
+			continue
+		}
+		span := b[len(b)-1].Sub(b[0])
+		if span <= 0 {
+			continue
+		}
+		out = append(out, float64(len(b)-1)/float64(span)*1e6)
+	}
+	return out
+}
+
+// InterBeatGaps returns all inter-heartbeat gaps (cycles) across workers,
+// the raw data behind Fig. 3's stability claim.
+func (rt *Runtime) InterBeatGaps() []float64 {
+	var gaps []float64
+	for _, w := range rt.workers {
+		b := w.stats.Beats
+		for i := 1; i < len(b); i++ {
+			gaps = append(gaps, float64(b[i].Sub(b[i-1])))
+		}
+	}
+	return gaps
+}

@@ -1,0 +1,445 @@
+// Package interp executes internal/ir programs with cycle accounting.
+//
+// It is the "hardware" the compiler passes target: every instruction has
+// a cycle cost, memory accesses can be routed through paging/TLB or
+// coherence models, and the interweaving intrinsics (CARAT guards and
+// tracking, compiler-timing yield checks, blended device polls) call out
+// through Hooks so the runtime layers can charge their real costs and
+// effect their real semantics.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// Common execution errors.
+var (
+	ErrStepLimit = errors.New("interp: step limit exceeded")
+	ErrDepth     = errors.New("interp: call depth exceeded")
+	ErrUndefined = errors.New("interp: call to undefined function")
+)
+
+// CostTable assigns cycle costs to instruction classes.
+type CostTable struct {
+	IntALU int64 // add/sub/logic/shift/cmp/mov/const
+	IntMul int64
+	IntDiv int64
+	FPALU  int64 // fadd/fsub/fcmp
+	FPMul  int64
+	FPDiv  int64
+	Load   int64 // base cost; memory model hooks add more
+	Store  int64
+	Alloc  int64
+	Free   int64
+	Call   int64
+	Branch int64
+	Jump   int64
+	Ret    int64
+}
+
+// DefaultCosts returns x64-like latencies (throughput-ish costs).
+func DefaultCosts() CostTable {
+	return CostTable{
+		IntALU: 1, IntMul: 3, IntDiv: 21,
+		FPALU: 3, FPMul: 4, FPDiv: 13,
+		Load: 4, Store: 4,
+		Alloc: 40, Free: 30,
+		Call: 6, Branch: 2, Jump: 1, Ret: 2,
+	}
+}
+
+// Hooks connect intrinsics and memory traffic to the runtime layers.
+// Each hook returns the cycles its work costs; nil hooks cost zero and
+// do nothing.
+type Hooks struct {
+	// Guard is the CARAT protection check for an effective address.
+	Guard func(addr mem.Addr) int64
+	// GuardRegion is the hoisted whole-region CARAT check (one check
+	// validates the entire allocation containing base).
+	GuardRegion func(base mem.Addr) int64
+	// TrackAlloc/TrackFree/TrackEsc are CARAT allocation-table updates.
+	TrackAlloc func(addr mem.Addr, size uint64) int64
+	TrackFree  func(addr mem.Addr) int64
+	// TrackEsc records that a (possible) pointer value val was stored
+	// at location loc, so the runtime can patch it if the pointee moves.
+	TrackEsc func(loc mem.Addr, val uint64) int64
+	// YieldCheck is the compiler-timing check; elapsed is the cycle
+	// count consumed by this Interp so far.
+	YieldCheck func(elapsed int64) int64
+	// Poll is the blended device poll check.
+	Poll func() int64
+	// MemAccess is charged for every load/store effective address
+	// (paging/TLB/coherence models).
+	MemAccess func(addr mem.Addr, write bool) int64
+	// Extern handles calls to functions not defined in the module.
+	Extern func(name string, args []uint64) (uint64, int64, error)
+	// Abort, when non-nil, is polled after every instruction; a non-nil
+	// return stops execution with that error (protection-fault
+	// teardown, deadline enforcement).
+	Abort func() error
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Steps       int64
+	Cycles      int64
+	Loads       int64
+	Stores      int64
+	Allocs      int64
+	Frees       int64
+	Guards      int64
+	YieldChecks int64
+	Polls       int64
+	Calls       int64
+	GuardCycles int64 // cycles attributable to guards (overhead accounting)
+	YieldCycles int64
+	PollCycles  int64
+	TrackCycles int64
+}
+
+// Heap is the interpreter's memory: a buddy allocator for addresses plus
+// word-granularity content storage.
+type Heap struct {
+	Buddy *mem.Buddy
+	words map[mem.Addr]uint64
+}
+
+// NewHeap creates a heap of size bytes (power of two) based at base.
+func NewHeap(base mem.Addr, size uint64) (*Heap, error) {
+	b, err := mem.NewBuddy(base, size, 6)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{Buddy: b, words: make(map[mem.Addr]uint64)}, nil
+}
+
+// Alloc allocates n bytes.
+func (h *Heap) Alloc(n uint64) (mem.Addr, error) { return h.Buddy.Alloc(n) }
+
+// Free releases an allocation.
+func (h *Heap) Free(a mem.Addr) error { return h.Buddy.Free(a) }
+
+// Load reads the 8-byte word at a (aligned down).
+func (h *Heap) Load(a mem.Addr) uint64 { return h.words[a&^7] }
+
+// Store writes the 8-byte word at a (aligned down).
+func (h *Heap) Store(a mem.Addr, v uint64) { h.words[a&^7] = v }
+
+// Move copies n bytes of content from src to dst (CARAT region motion).
+func (h *Heap) Move(src, dst mem.Addr, n uint64) {
+	for off := uint64(0); off < n; off += 8 {
+		h.words[(dst+mem.Addr(off))&^7] = h.words[(src+mem.Addr(off))&^7]
+		delete(h.words, (src+mem.Addr(off))&^7)
+	}
+}
+
+// Interp executes functions of one module against one heap.
+type Interp struct {
+	Mod   *ir.Module
+	Heap  *Heap
+	Cost  CostTable
+	Hooks Hooks
+	Stats Stats
+
+	// MaxSteps bounds total executed instructions (default 200M).
+	MaxSteps int64
+	// MaxDepth bounds call nesting (default 256).
+	MaxDepth int
+}
+
+// New creates an interpreter over mod with a fresh 256 MiB heap.
+func New(mod *ir.Module) (*Interp, error) {
+	h, err := NewHeap(0x10000, 256<<20)
+	if err != nil {
+		return nil, err
+	}
+	return &Interp{
+		Mod:      mod,
+		Heap:     h,
+		Cost:     DefaultCosts(),
+		MaxSteps: 200_000_000,
+		MaxDepth: 256,
+	}, nil
+}
+
+// Call runs the named function with the given arguments and returns its
+// result. Cycle and event counts accumulate in Stats across calls.
+func (ip *Interp) Call(name string, args ...uint64) (uint64, error) {
+	return ip.call(name, args, 0)
+}
+
+func (ip *Interp) call(name string, args []uint64, depth int) (uint64, error) {
+	if depth > ip.MaxDepth {
+		return 0, ErrDepth
+	}
+	f, ok := ip.Mod.Funcs[name]
+	if !ok {
+		if ip.Hooks.Extern != nil {
+			ret, cost, err := ip.Hooks.Extern(name, args)
+			ip.Stats.Cycles += cost
+			return ret, err
+		}
+		return 0, fmt.Errorf("%w: %s", ErrUndefined, name)
+	}
+	if len(args) != f.NumParams {
+		return 0, fmt.Errorf("interp: %s wants %d args, got %d", name, f.NumParams, len(args))
+	}
+	regs := make([]uint64, f.NumRegs)
+	copy(regs, args)
+
+	blk := f.Entry()
+	idx := 0
+	for {
+		if idx >= len(blk.Instrs) {
+			return 0, fmt.Errorf("interp: fell off block %s.%s", f.Name, blk.Name)
+		}
+		in := blk.Instrs[idx]
+		ip.Stats.Steps++
+		if ip.Stats.Steps > ip.MaxSteps {
+			return 0, ErrStepLimit
+		}
+		if ip.Hooks.Abort != nil {
+			if err := ip.Hooks.Abort(); err != nil {
+				return 0, err
+			}
+		}
+		switch in.Op {
+		case ir.OpConst:
+			regs[in.Dst] = uint64(in.Imm)
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpFConst:
+			regs[in.Dst] = math.Float64bits(in.FImm)
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpMov:
+			regs[in.Dst] = regs[in.A]
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpAdd:
+			regs[in.Dst] = uint64(int64(regs[in.A]) + int64(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpSub:
+			regs[in.Dst] = uint64(int64(regs[in.A]) - int64(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpMul:
+			regs[in.Dst] = uint64(int64(regs[in.A]) * int64(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.IntMul
+		case ir.OpDiv:
+			b := int64(regs[in.B])
+			if b == 0 {
+				return 0, fmt.Errorf("interp: division by zero in %s.%s", f.Name, blk.Name)
+			}
+			regs[in.Dst] = uint64(int64(regs[in.A]) / b)
+			ip.Stats.Cycles += ip.Cost.IntDiv
+		case ir.OpRem:
+			b := int64(regs[in.B])
+			if b == 0 {
+				return 0, fmt.Errorf("interp: modulo by zero in %s.%s", f.Name, blk.Name)
+			}
+			regs[in.Dst] = uint64(int64(regs[in.A]) % b)
+			ip.Stats.Cycles += ip.Cost.IntDiv
+		case ir.OpAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpShl:
+			regs[in.Dst] = regs[in.A] << (regs[in.B] & 63)
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpShr:
+			regs[in.Dst] = regs[in.A] >> (regs[in.B] & 63)
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpFAdd:
+			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) + math.Float64frombits(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.FPALU
+		case ir.OpFSub:
+			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) - math.Float64frombits(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.FPALU
+		case ir.OpFMul:
+			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) * math.Float64frombits(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.FPMul
+		case ir.OpFDiv:
+			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) / math.Float64frombits(regs[in.B]))
+			ip.Stats.Cycles += ip.Cost.FPDiv
+		case ir.OpICmp:
+			regs[in.Dst] = boolToU64(icmp(in.Pred, int64(regs[in.A]), int64(regs[in.B])))
+			ip.Stats.Cycles += ip.Cost.IntALU
+		case ir.OpFCmp:
+			regs[in.Dst] = boolToU64(fcmp(in.Pred, math.Float64frombits(regs[in.A]), math.Float64frombits(regs[in.B])))
+			ip.Stats.Cycles += ip.Cost.FPALU
+		case ir.OpLoad:
+			addr := mem.Addr(int64(regs[in.A]) + in.Imm)
+			ip.Stats.Loads++
+			ip.Stats.Cycles += ip.Cost.Load
+			if ip.Hooks.MemAccess != nil {
+				ip.Stats.Cycles += ip.Hooks.MemAccess(addr, false)
+			}
+			regs[in.Dst] = ip.Heap.Load(addr)
+		case ir.OpStore:
+			addr := mem.Addr(int64(regs[in.A]) + in.Imm)
+			ip.Stats.Stores++
+			ip.Stats.Cycles += ip.Cost.Store
+			if ip.Hooks.MemAccess != nil {
+				ip.Stats.Cycles += ip.Hooks.MemAccess(addr, true)
+			}
+			ip.Heap.Store(addr, regs[in.B])
+		case ir.OpAlloc:
+			size := uint64(in.Imm)
+			if in.A != ir.NoReg {
+				size = regs[in.A]
+			}
+			a, err := ip.Heap.Alloc(size)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = uint64(a)
+			ip.Stats.Allocs++
+			ip.Stats.Cycles += ip.Cost.Alloc
+		case ir.OpFree:
+			if err := ip.Heap.Free(mem.Addr(regs[in.A])); err != nil {
+				return 0, err
+			}
+			ip.Stats.Frees++
+			ip.Stats.Cycles += ip.Cost.Free
+		case ir.OpCall:
+			callArgs := make([]uint64, len(in.Args))
+			for i, r := range in.Args {
+				callArgs[i] = regs[r]
+			}
+			ip.Stats.Calls++
+			ip.Stats.Cycles += ip.Cost.Call
+			ret, err := ip.call(in.Callee, callArgs, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = ret
+		case ir.OpGuard:
+			ip.Stats.Guards++
+			if in.Region {
+				if ip.Hooks.GuardRegion != nil {
+					c := ip.Hooks.GuardRegion(mem.Addr(regs[in.A]))
+					ip.Stats.Cycles += c
+					ip.Stats.GuardCycles += c
+				}
+			} else if ip.Hooks.Guard != nil {
+				c := ip.Hooks.Guard(mem.Addr(int64(regs[in.A]) + in.Imm))
+				ip.Stats.Cycles += c
+				ip.Stats.GuardCycles += c
+			}
+		case ir.OpTrackAlloc:
+			if ip.Hooks.TrackAlloc != nil {
+				sz := uint64(in.Imm)
+				if in.B != ir.NoReg {
+					sz = regs[in.B]
+				}
+				c := ip.Hooks.TrackAlloc(mem.Addr(regs[in.A]), sz)
+				ip.Stats.Cycles += c
+				ip.Stats.TrackCycles += c
+			}
+		case ir.OpTrackFree:
+			if ip.Hooks.TrackFree != nil {
+				c := ip.Hooks.TrackFree(mem.Addr(regs[in.A]))
+				ip.Stats.Cycles += c
+				ip.Stats.TrackCycles += c
+			}
+		case ir.OpTrackEsc:
+			if ip.Hooks.TrackEsc != nil {
+				loc := mem.Addr(int64(regs[in.A]) + in.Imm)
+				c := ip.Hooks.TrackEsc(loc, regs[in.B])
+				ip.Stats.Cycles += c
+				ip.Stats.TrackCycles += c
+			}
+		case ir.OpYieldCheck:
+			ip.Stats.YieldChecks++
+			if ip.Hooks.YieldCheck != nil {
+				c := ip.Hooks.YieldCheck(ip.Stats.Cycles)
+				ip.Stats.Cycles += c
+				ip.Stats.YieldCycles += c
+			}
+		case ir.OpPoll:
+			ip.Stats.Polls++
+			if ip.Hooks.Poll != nil {
+				c := ip.Hooks.Poll()
+				ip.Stats.Cycles += c
+				ip.Stats.PollCycles += c
+			}
+		case ir.OpBr:
+			ip.Stats.Cycles += ip.Cost.Branch
+			if regs[in.A] != 0 {
+				blk, idx = in.Target, 0
+			} else {
+				blk, idx = in.Else, 0
+			}
+			continue
+		case ir.OpJmp:
+			ip.Stats.Cycles += ip.Cost.Jump
+			blk, idx = in.Target, 0
+			continue
+		case ir.OpRet:
+			ip.Stats.Cycles += ip.Cost.Ret
+			if in.A == ir.NoReg {
+				return 0, nil
+			}
+			return regs[in.A], nil
+		default:
+			return 0, fmt.Errorf("interp: unimplemented op %s", in.Op)
+		}
+		idx++
+	}
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func icmp(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}
+
+func fcmp(p ir.Pred, a, b float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}
+
+// F64 converts a raw register value to float64 (test convenience).
+func F64(v uint64) float64 { return math.Float64frombits(v) }
+
+// U64 converts a float64 to its raw register encoding.
+func U64(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,365 @@
+package interp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+func sumModule() *ir.Module {
+	m := ir.NewModule("t")
+	f := m.NewFunction("sum", 1)
+	b := ir.NewBuilder(f)
+	n := b.Param(0)
+	s := b.Const(0)
+	one := b.Const(1)
+	i := b.Const(0)
+	header := b.Block("header")
+	body := b.Block("body")
+	exit := b.Block("exit")
+	b.Jmp(header)
+	b.SetBlock(header)
+	cond := b.ICmp(ir.PredLT, i, n)
+	b.Br(cond, body, exit)
+	b.SetBlock(body)
+	b.MovTo(s, b.Add(s, i))
+	b.MovTo(i, b.Add(i, one))
+	b.Jmp(header)
+	b.SetBlock(exit)
+	b.Ret(s)
+	return m
+}
+
+func TestSumLoop(t *testing.T) {
+	ip, err := New(sumModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("sum", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4950 {
+		t.Fatalf("sum(100) = %d, want 4950", got)
+	}
+	if ip.Stats.Cycles == 0 || ip.Stats.Steps == 0 {
+		t.Fatal("no accounting recorded")
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 2)
+	b := ir.NewBuilder(f)
+	x, y := b.Param(0), b.Param(1)
+	r := b.Mul(b.Sub(b.Add(x, y), b.Const(1)), b.Const(2)) // ((x+y)-1)*2
+	r = b.Add(r, b.Rem(x, b.Const(7)))
+	r = b.Xor(r, b.Const(0))
+	r = b.Or(r, b.And(r, r))
+	r = b.Shr(b.Shl(r, b.Const(3)), b.Const(3))
+	b.Ret(r)
+	ip, _ := New(m)
+	got, err := ip.Call("f", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(((10+5)-1)*2 + 10%7)
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	b.Ret(b.Div(b.Param(0), b.Const(0)))
+	ip, _ := New(m)
+	if _, err := ip.Call("f", 5); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	x := b.FConst(1.5)
+	y := b.FConst(2.0)
+	r := b.FDiv(b.FMul(b.FAdd(x, y), b.FSub(y, x)), y) // (3.5*0.5)/2 = 0.875
+	b.Ret(r)
+	ip, _ := New(m)
+	got, err := ip.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := F64(got); math.Abs(v-0.875) > 1e-12 {
+		t.Fatalf("got %v, want 0.875", v)
+	}
+}
+
+func TestComparePredicates(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 2)
+	b := ir.NewBuilder(f)
+	x, y := b.Param(0), b.Param(1)
+	acc := b.Const(0)
+	for bit, p := range []ir.Pred{ir.PredEQ, ir.PredNE, ir.PredLT, ir.PredLE, ir.PredGT, ir.PredGE} {
+		c := b.ICmp(p, x, y)
+		sh := b.Shl(c, b.Const(int64(bit)))
+		b.MovTo(acc, b.Or(acc, sh))
+	}
+	b.Ret(acc)
+	ip, _ := New(m)
+	got, _ := ip.Call("f", 3, 5)
+	// 3 vs 5: EQ=0 NE=1 LT=1 LE=1 GT=0 GE=0 -> bits 1,2,3 -> 0b001110
+	if got != 0b001110 {
+		t.Fatalf("predicate bits = %06b", got)
+	}
+	got, _ = ip.Call("f", 5, 5)
+	// EQ=1 NE=0 LT=0 LE=1 GT=0 GE=1 -> 0b101001
+	if got != 0b101001 {
+		t.Fatalf("predicate bits = %06b", got)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(64)
+	v := b.Const(0xdead)
+	b.Store(buf, 8, v)
+	got := b.Load(buf, 8)
+	b.Free(buf)
+	b.Ret(got)
+	ip, _ := New(m)
+	r, err := ip.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0xdead {
+		t.Fatalf("round trip = %#x", r)
+	}
+	if ip.Stats.Allocs != 1 || ip.Stats.Frees != 1 || ip.Stats.Loads != 1 || ip.Stats.Stores != 1 {
+		t.Fatalf("stats = %+v", ip.Stats)
+	}
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	m := ir.NewModule("t")
+	fib := m.NewFunction("fib", 1)
+	b := ir.NewBuilder(fib)
+	n := b.Param(0)
+	two := b.Const(2)
+	rec := b.Block("rec")
+	base := b.Block("base")
+	cond := b.ICmp(ir.PredLT, n, two)
+	b.Br(cond, base, rec)
+	b.SetBlock(base)
+	b.Ret(n)
+	b.SetBlock(rec)
+	one := b.Const(1)
+	a := b.Call("fib", b.Sub(n, one))
+	c := b.Call("fib", b.Sub(n, two))
+	b.Ret(b.Add(a, c))
+
+	ip, _ := New(m)
+	got, err := ip.Call("fib", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("inf", 0)
+	b := ir.NewBuilder(f)
+	b.Ret(b.Call("inf"))
+	ip, _ := New(m)
+	ip.MaxDepth = 50
+	if _, err := ip.Call("inf"); !errors.Is(err, ErrDepth) {
+		t.Fatalf("err = %v, want depth", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("spin", 0)
+	b := ir.NewBuilder(f)
+	loop := b.Block("loop")
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.Jmp(loop)
+	ip, _ := New(m)
+	ip.MaxSteps = 1000
+	if _, err := ip.Call("spin"); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+func TestUndefinedCall(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	b.Ret(b.Call("nope"))
+	ip, _ := New(m)
+	if _, err := ip.Call("f"); !errors.Is(err, ErrUndefined) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExternHook(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	x := b.Const(21)
+	b.Ret(b.Call("double", x))
+	ip, _ := New(m)
+	ip.Hooks.Extern = func(name string, args []uint64) (uint64, int64, error) {
+		if name != "double" {
+			t.Fatalf("extern name = %s", name)
+		}
+		return args[0] * 2, 100, nil
+	}
+	got, err := ip.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("extern result = %d", got)
+	}
+}
+
+func TestGuardHookAccounting(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(64)
+	b.Cur.Instrs = append(b.Cur.Instrs, &ir.Instr{Op: ir.OpGuard, A: buf, B: ir.NoReg})
+	v := b.Const(7)
+	b.Store(buf, 0, v)
+	b.Ret(ir.NoReg)
+	ip, _ := New(m)
+	var guarded []mem.Addr
+	ip.Hooks.Guard = func(a mem.Addr) int64 {
+		guarded = append(guarded, a)
+		return 9
+	}
+	if _, err := ip.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(guarded) != 1 {
+		t.Fatalf("guards ran %d times", len(guarded))
+	}
+	if ip.Stats.GuardCycles != 9 || ip.Stats.Guards != 1 {
+		t.Fatalf("stats = %+v", ip.Stats)
+	}
+}
+
+func TestYieldCheckHook(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	for i := 0; i < 5; i++ {
+		b.Cur.Instrs = append(b.Cur.Instrs, &ir.Instr{Op: ir.OpYieldCheck, A: ir.NoReg, B: ir.NoReg})
+		b.Const(int64(i))
+	}
+	b.Ret(ir.NoReg)
+	ip, _ := New(m)
+	var elapsed []int64
+	ip.Hooks.YieldCheck = func(e int64) int64 {
+		elapsed = append(elapsed, e)
+		return 6
+	}
+	if _, err := ip.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(elapsed) != 5 {
+		t.Fatalf("yield checks = %d", len(elapsed))
+	}
+	for i := 1; i < len(elapsed); i++ {
+		if elapsed[i] <= elapsed[i-1] {
+			t.Fatal("elapsed cycles not monotone")
+		}
+	}
+	if ip.Stats.YieldCycles != 30 {
+		t.Fatalf("yield cycles = %d", ip.Stats.YieldCycles)
+	}
+}
+
+func TestMemAccessHook(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(64)
+	v := b.Const(1)
+	b.Store(buf, 0, v)
+	b.Load(buf, 0)
+	b.Ret(ir.NoReg)
+	ip, _ := New(m)
+	var accesses []bool
+	ip.Hooks.MemAccess = func(a mem.Addr, write bool) int64 {
+		accesses = append(accesses, write)
+		return 50
+	}
+	before := ip.Stats.Cycles
+	if _, err := ip.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(accesses) != 2 || !accesses[0] || accesses[1] {
+		t.Fatalf("accesses = %v", accesses)
+	}
+	if ip.Stats.Cycles-before < 100 {
+		t.Fatal("mem access costs not charged")
+	}
+}
+
+func TestHeapMove(t *testing.T) {
+	h, err := NewHeap(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := h.Alloc(64)
+	dst, _ := h.Alloc(64)
+	h.Store(src+8, 0xabc)
+	h.Move(src, dst, 64)
+	if h.Load(dst+8) != 0xabc {
+		t.Fatal("move did not copy content")
+	}
+	if h.Load(src+8) != 0 {
+		t.Fatal("move left stale content")
+	}
+}
+
+func TestCountingLoopExecution(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	acc := b.Const(0)
+	b.CountingLoop(0, 10, 3, func(i ir.Reg) {
+		b.MovTo(acc, b.Add(acc, i))
+	})
+	b.Ret(acc)
+	ip, _ := New(m)
+	got, err := ip.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0+3+6+9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	ip, _ := New(sumModule())
+	if _, err := ip.Call("sum"); err == nil {
+		t.Fatal("expected arity error")
+	}
+}

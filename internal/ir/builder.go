@@ -1,0 +1,209 @@
+package ir
+
+// Builder provides a fluent API for constructing IR, used by the
+// workload kernels and by tests.
+type Builder struct {
+	F   *Function
+	Cur *Block
+}
+
+// NewBuilder starts building into f at its entry block (creating one if
+// the function is empty).
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{F: f}
+	if len(f.Blocks) == 0 {
+		b.Cur = f.NewBlock("entry")
+	} else {
+		b.Cur = f.Blocks[0]
+	}
+	return b
+}
+
+// SetBlock redirects emission to block blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// Block creates a new block without switching to it.
+func (b *Builder) Block(name string) *Block { return b.F.NewBlock(name) }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+	return in
+}
+
+// Const emits Dst = imm and returns Dst.
+func (b *Builder) Const(imm int64) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpConst, Dst: d, A: NoReg, B: NoReg, Imm: imm})
+	return d
+}
+
+// FConst emits Dst = f (float64) and returns Dst.
+func (b *Builder) FConst(f float64) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpFConst, Dst: d, A: NoReg, B: NoReg, FImm: f})
+	return d
+}
+
+// Mov emits Dst = a.
+func (b *Builder) Mov(a Reg) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpMov, Dst: d, A: a, B: NoReg})
+	return d
+}
+
+// MovTo emits dst = a into an existing register (loop variables).
+func (b *Builder) MovTo(dst, a Reg) {
+	b.emit(&Instr{Op: OpMov, Dst: dst, A: a, B: NoReg})
+}
+
+func (b *Builder) bin(op Op, a, c Reg) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: op, Dst: d, A: a, B: c})
+	return d
+}
+
+// Add emits Dst = a + c.
+func (b *Builder) Add(a, c Reg) Reg { return b.bin(OpAdd, a, c) }
+
+// Sub emits Dst = a - c.
+func (b *Builder) Sub(a, c Reg) Reg { return b.bin(OpSub, a, c) }
+
+// Mul emits Dst = a * c.
+func (b *Builder) Mul(a, c Reg) Reg { return b.bin(OpMul, a, c) }
+
+// Div emits Dst = a / c.
+func (b *Builder) Div(a, c Reg) Reg { return b.bin(OpDiv, a, c) }
+
+// Rem emits Dst = a % c.
+func (b *Builder) Rem(a, c Reg) Reg { return b.bin(OpRem, a, c) }
+
+// And emits Dst = a & c.
+func (b *Builder) And(a, c Reg) Reg { return b.bin(OpAnd, a, c) }
+
+// Or emits Dst = a | c.
+func (b *Builder) Or(a, c Reg) Reg { return b.bin(OpOr, a, c) }
+
+// Xor emits Dst = a ^ c.
+func (b *Builder) Xor(a, c Reg) Reg { return b.bin(OpXor, a, c) }
+
+// Shl emits Dst = a << c.
+func (b *Builder) Shl(a, c Reg) Reg { return b.bin(OpShl, a, c) }
+
+// Shr emits Dst = a >> c.
+func (b *Builder) Shr(a, c Reg) Reg { return b.bin(OpShr, a, c) }
+
+// FAdd emits Dst = a + c (float).
+func (b *Builder) FAdd(a, c Reg) Reg { return b.bin(OpFAdd, a, c) }
+
+// FSub emits Dst = a - c (float).
+func (b *Builder) FSub(a, c Reg) Reg { return b.bin(OpFSub, a, c) }
+
+// FMul emits Dst = a * c (float).
+func (b *Builder) FMul(a, c Reg) Reg { return b.bin(OpFMul, a, c) }
+
+// FDiv emits Dst = a / c (float).
+func (b *Builder) FDiv(a, c Reg) Reg { return b.bin(OpFDiv, a, c) }
+
+// ICmp emits Dst = pred(a, c) over int64.
+func (b *Builder) ICmp(pred Pred, a, c Reg) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpICmp, Dst: d, A: a, B: c, Pred: pred})
+	return d
+}
+
+// FCmp emits Dst = pred(a, c) over float64.
+func (b *Builder) FCmp(pred Pred, a, c Reg) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpFCmp, Dst: d, A: a, B: c, Pred: pred})
+	return d
+}
+
+// Load emits Dst = mem[a + off].
+func (b *Builder) Load(a Reg, off int64) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpLoad, Dst: d, A: a, B: NoReg, Imm: off})
+	return d
+}
+
+// Store emits mem[a + off] = v.
+func (b *Builder) Store(a Reg, off int64, v Reg) {
+	b.emit(&Instr{Op: OpStore, A: a, B: v, Imm: off})
+}
+
+// Alloc emits Dst = allocate(size bytes).
+func (b *Builder) Alloc(size int64) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpAlloc, Dst: d, A: NoReg, B: NoReg, Imm: size})
+	return d
+}
+
+// AllocReg emits Dst = allocate(sizeReg bytes).
+func (b *Builder) AllocReg(size Reg) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpAlloc, Dst: d, A: size, B: NoReg})
+	return d
+}
+
+// Free emits free(a).
+func (b *Builder) Free(a Reg) {
+	b.emit(&Instr{Op: OpFree, A: a, B: NoReg})
+}
+
+// Call emits Dst = callee(args...).
+func (b *Builder) Call(callee string, args ...Reg) Reg {
+	d := b.F.NewReg()
+	b.emit(&Instr{Op: OpCall, Dst: d, A: NoReg, B: NoReg, Callee: callee, Args: args})
+	return d
+}
+
+// Br emits a conditional branch: if cond != 0 goto then else els.
+func (b *Builder) Br(cond Reg, then, els *Block) {
+	b.emit(&Instr{Op: OpBr, A: cond, B: NoReg, Target: then, Else: els})
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(to *Block) {
+	b.emit(&Instr{Op: OpJmp, A: NoReg, B: NoReg, Target: to})
+}
+
+// Ret emits return a (pass NoReg for void).
+func (b *Builder) Ret(a Reg) {
+	b.emit(&Instr{Op: OpRet, A: a, B: NoReg})
+}
+
+// Param returns the register holding parameter i.
+func (b *Builder) Param(i int) Reg {
+	if i < 0 || i >= b.F.NumParams {
+		panic("ir: parameter index out of range")
+	}
+	return Reg(i)
+}
+
+// CountingLoop is a convenience that builds
+//
+//	for i = start; i < limit; i += step { body(i) }
+//
+// and leaves the builder positioned at the exit block. The body callback
+// receives the induction variable register.
+func (b *Builder) CountingLoop(start, limit, step int64, body func(i Reg)) {
+	iv := b.Const(start)
+	lim := b.Const(limit)
+	st := b.Const(step)
+
+	header := b.Block("loop.header")
+	bodyB := b.Block("loop.body")
+	exit := b.Block("loop.exit")
+
+	b.Jmp(header)
+	b.SetBlock(header)
+	cond := b.ICmp(PredLT, iv, lim)
+	b.Br(cond, bodyB, exit)
+
+	b.SetBlock(bodyB)
+	body(iv)
+	next := b.Add(iv, st)
+	b.MovTo(iv, next)
+	b.Jmp(header)
+
+	b.SetBlock(exit)
+}

@@ -1,0 +1,403 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSumLoop builds: func sum(n) { s=0; for i=0;i<n;i++ { s+=i }; ret s }
+func buildSumLoop() *Function {
+	m := NewModule("t")
+	f := m.NewFunction("sum", 1)
+	b := NewBuilder(f)
+	n := b.Param(0)
+	s := b.Const(0)
+	i := b.Const(0)
+	one := b.Const(1)
+
+	header := b.Block("header")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	b.Jmp(header)
+	b.SetBlock(header)
+	cond := b.ICmp(PredLT, i, n)
+	b.Br(cond, body, exit)
+
+	b.SetBlock(body)
+	ns := b.Add(s, i)
+	b.MovTo(s, ns)
+	ni := b.Add(i, one)
+	b.MovTo(i, ni)
+	b.Jmp(header)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+	return f
+}
+
+func TestVerifyValidFunction(t *testing.T) {
+	f := buildSumLoop()
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("bad", 0)
+	b := NewBuilder(f)
+	b.Const(1) // no terminator
+	if err := Verify(f); err == nil {
+		t.Fatal("expected verification failure")
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("bad", 0)
+	b := NewBuilder(f)
+	b.Ret(NoReg)
+	b.Const(1)
+	b.Ret(NoReg)
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "mid-block") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesForeignBlock(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("bad", 0)
+	g := m.NewFunction("other", 0)
+	gb := g.NewBlock("gentry")
+	gb.Instrs = append(gb.Instrs, &Instr{Op: OpRet, A: NoReg, B: NoReg})
+	b := NewBuilder(f)
+	b.Jmp(gb)
+	if err := Verify(f); err == nil {
+		t.Fatal("expected foreign-block failure")
+	}
+}
+
+func TestVerifyCatchesBadRegister(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("bad", 0)
+	b := NewBuilder(f)
+	b.Cur.Instrs = append(b.Cur.Instrs, &Instr{Op: OpMov, Dst: 0, A: 57, B: NoReg})
+	f.NumRegs = 1
+	b.Ret(NoReg)
+	if err := Verify(f); err == nil {
+		t.Fatal("expected register range failure")
+	}
+}
+
+func TestVerifyModuleCallResolution(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("caller", 0)
+	b := NewBuilder(f)
+	b.Call("missing")
+	b.Ret(NoReg)
+	if err := VerifyModule(m, nil); err == nil {
+		t.Fatal("expected undefined-callee failure")
+	}
+	if err := VerifyModule(m, map[string]bool{"missing": true}); err != nil {
+		t.Fatalf("extern should resolve: %v", err)
+	}
+}
+
+func TestVerifyModuleArity(t *testing.T) {
+	m := NewModule("t")
+	callee := m.NewFunction("f", 2)
+	cb := NewBuilder(callee)
+	cb.Ret(NoReg)
+	caller := m.NewFunction("g", 0)
+	b := NewBuilder(caller)
+	x := b.Const(1)
+	b.Call("f", x) // wrong arity
+	b.Ret(NoReg)
+	if err := VerifyModule(m, nil); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCFGPredsAndRPO(t *testing.T) {
+	f := buildSumLoop()
+	info := AnalyzeCFG(f)
+	entry := f.Blocks[0]
+	header := f.Blocks[1]
+	body := f.Blocks[2]
+	exit := f.Blocks[3]
+
+	if info.RPO[0] != entry {
+		t.Fatal("RPO must start at entry")
+	}
+	preds := info.Preds[header]
+	if len(preds) != 2 {
+		t.Fatalf("header preds = %d, want 2 (entry + latch)", len(preds))
+	}
+	if len(info.Preds[exit]) != 1 || info.Preds[exit][0] != header {
+		t.Fatal("exit pred wrong")
+	}
+	_ = body
+}
+
+func TestDominators(t *testing.T) {
+	f := buildSumLoop()
+	info := AnalyzeCFG(f)
+	entry, header, body, exit := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if !info.Dominates(entry, exit) || !info.Dominates(header, body) ||
+		!info.Dominates(header, exit) {
+		t.Fatal("dominance facts wrong")
+	}
+	if info.Dominates(body, exit) {
+		t.Fatal("body must not dominate exit")
+	}
+	if info.IDom[body] != header || info.IDom[exit] != header || info.IDom[header] != entry {
+		t.Fatal("idom tree wrong")
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := buildSumLoop()
+	info := AnalyzeCFG(f)
+	if len(info.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(info.Loops))
+	}
+	l := info.Loops[0]
+	header, body := f.Blocks[1], f.Blocks[2]
+	if l.Header != header {
+		t.Fatal("wrong loop header")
+	}
+	if !l.Contains(body) || !l.Contains(header) {
+		t.Fatal("loop body wrong")
+	}
+	if l.Contains(f.Blocks[0]) || l.Contains(f.Blocks[3]) {
+		t.Fatal("loop includes non-loop blocks")
+	}
+	if l.Depth != 1 {
+		t.Fatalf("depth = %d", l.Depth)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != body {
+		t.Fatal("latch wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("nested", 1)
+	b := NewBuilder(f)
+	b.CountingLoop(0, 10, 1, func(i Reg) {
+		b.CountingLoop(0, 10, 1, func(j Reg) {
+			b.Add(i, j)
+		})
+	})
+	b.Ret(NoReg)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	info := AnalyzeCFG(f)
+	if len(info.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(info.Loops))
+	}
+	var inner, outer *Loop
+	for _, l := range info.Loops {
+		if l.Depth == 2 {
+			inner = l
+		} else if l.Depth == 1 {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatalf("depths wrong: %+v", info.Loops)
+	}
+	if inner.Parent != outer {
+		t.Fatal("nesting wrong")
+	}
+	if !outer.Blocks[inner.Header] {
+		t.Fatal("outer loop must contain inner header")
+	}
+}
+
+func TestLoopOf(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("nested", 0)
+	b := NewBuilder(f)
+	var innerBody *Block
+	b.CountingLoop(0, 4, 1, func(i Reg) {
+		b.CountingLoop(0, 4, 1, func(j Reg) {
+			innerBody = b.Cur
+			b.Add(i, j)
+		})
+	})
+	b.Ret(NoReg)
+	info := AnalyzeCFG(f)
+	l := info.LoopOf(innerBody)
+	if l == nil || l.Depth != 2 {
+		t.Fatalf("LoopOf(inner body) = %+v", l)
+	}
+	if info.LoopOf(f.Entry()) != nil {
+		t.Fatal("entry should be in no loop")
+	}
+}
+
+func TestPreheaderExisting(t *testing.T) {
+	f := buildSumLoop()
+	info := AnalyzeCFG(f)
+	l := info.Loops[0]
+	nBefore := len(f.Blocks)
+	ph := info.Preheader(l)
+	if ph != f.Blocks[0] {
+		t.Fatal("entry should already serve as preheader")
+	}
+	if len(f.Blocks) != nBefore {
+		t.Fatal("no block should have been inserted")
+	}
+}
+
+func TestPreheaderInsertion(t *testing.T) {
+	// Build a CFG where the loop header has an outside predecessor whose
+	// terminator also goes elsewhere — forcing preheader insertion.
+	m := NewModule("t")
+	f := m.NewFunction("g", 1)
+	b := NewBuilder(f)
+	cond := b.Param(0)
+	header := b.Block("header")
+	other := b.Block("other")
+	body := b.Block("body")
+	exit := b.Block("exit")
+	b.Br(cond, header, other)
+	b.SetBlock(other)
+	b.Jmp(exit)
+	b.SetBlock(header)
+	c2 := b.ICmp(PredLT, cond, cond)
+	b.Br(c2, body, exit)
+	b.SetBlock(body)
+	b.Jmp(header)
+	b.SetBlock(exit)
+	b.Ret(NoReg)
+
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	info := AnalyzeCFG(f)
+	if len(info.Loops) != 1 {
+		t.Fatalf("loops = %d", len(info.Loops))
+	}
+	nBefore := len(f.Blocks)
+	ph := info.Preheader(info.Loops[0])
+	if len(f.Blocks) != nBefore+1 {
+		t.Fatal("preheader not inserted")
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("function invalid after preheader insertion: %v", err)
+	}
+	// The entry branch must now route through the preheader.
+	entryT := f.Entry().Terminator()
+	if entryT.Target != ph {
+		t.Fatal("entry edge not redirected to preheader")
+	}
+	// Re-analysis must still find the loop, preheader outside it.
+	info2 := AnalyzeCFG(f)
+	if len(info2.Loops) != 1 || info2.Loops[0].Contains(ph) {
+		t.Fatal("preheader wrongly inside loop")
+	}
+}
+
+func TestRegsWrittenIn(t *testing.T) {
+	f := buildSumLoop()
+	info := AnalyzeCFG(f)
+	w := info.Loops[0].RegsWrittenIn()
+	// s and i (regs 1 and 2) are written in the loop; n (param, reg 0)
+	// and the constant one (reg 3) are not.
+	if !w[Reg(1)] || !w[Reg(2)] {
+		t.Fatalf("loop-written set missing accumulators: %v", w)
+	}
+	if w[Reg(0)] || w[Reg(3)] {
+		t.Fatalf("loop-written set includes invariants: %v", w)
+	}
+}
+
+func TestCountingLoopShape(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("cl", 0)
+	b := NewBuilder(f)
+	iters := 0
+	b.CountingLoop(0, 100, 2, func(i Reg) { iters++ })
+	b.Ret(NoReg)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Fatal("body builder should run exactly once at build time")
+	}
+	info := AnalyzeCFG(f)
+	if len(info.Loops) != 1 {
+		t.Fatal("CountingLoop produced wrong loop count")
+	}
+}
+
+func TestFormatAndOpString(t *testing.T) {
+	f := buildSumLoop()
+	s := Format(f)
+	for _, want := range []string{"func sum", "icmp", "br", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, s)
+		}
+	}
+	if OpGuard.String() != "carat.guard" {
+		t.Fatal("op name wrong")
+	}
+	if Op(999).String() == "" {
+		t.Fatal("unknown op should still format")
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	in := &Instr{Op: OpStore, A: 1, B: 2, Imm: 8}
+	if in.Defs() != NoReg {
+		t.Fatal("store defines nothing")
+	}
+	uses := in.Uses(nil)
+	if len(uses) != 2 {
+		t.Fatalf("store uses = %v", uses)
+	}
+	call := &Instr{Op: OpCall, Dst: 3, Callee: "f", Args: []Reg{4, 5}}
+	if call.Defs() != 3 {
+		t.Fatal("call def wrong")
+	}
+	if u := call.Uses(nil); len(u) != 2 {
+		t.Fatalf("call uses = %v", u)
+	}
+}
+
+func TestCountOpAndInstrCount(t *testing.T) {
+	f := buildSumLoop()
+	if f.CountOp(OpAdd) != 2 {
+		t.Fatalf("adds = %d", f.CountOp(OpAdd))
+	}
+	if f.InstrCount() == 0 {
+		t.Fatal("instr count zero")
+	}
+}
+
+func TestModuleFunctionsOrder(t *testing.T) {
+	m := NewModule("t")
+	m.NewFunction("a", 0)
+	m.NewFunction("b", 0)
+	m.NewFunction("c", 0)
+	fs := m.Functions()
+	if len(fs) != 3 || fs[0].Name != "a" || fs[2].Name != "c" {
+		t.Fatal("definition order not preserved")
+	}
+}
+
+func TestParamOutOfRangePanics(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := NewBuilder(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Param(3)
+}

@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verify checks a function's structural invariants: every block ends in
+// exactly one terminator (the last instruction), branch targets belong to
+// the function, register operands are in range, and the entry block
+// exists. Passes run Verify after transforming.
+func Verify(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	checkReg := func(b *Block, in *Instr, r Reg, what string) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s.%s: %s register %d out of range [0,%d)",
+				f.Name, b.Name, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	var uses []Reg
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s.%s is empty", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fmt.Errorf("ir: %s.%s does not end in a terminator", f.Name, b.Name)
+				}
+				return fmt.Errorf("ir: %s.%s has terminator %s mid-block at %d",
+					f.Name, b.Name, in.Op, i)
+			}
+			if d := in.Defs(); d != NoReg {
+				if err := checkReg(b, in, d, "def"); err != nil {
+					return err
+				}
+			}
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if err := checkReg(b, in, u, "use"); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case OpJmp:
+				if in.Target == nil || !blockSet[in.Target] {
+					return fmt.Errorf("ir: %s.%s: jmp to foreign block", f.Name, b.Name)
+				}
+			case OpBr:
+				if in.Target == nil || !blockSet[in.Target] || in.Else == nil || !blockSet[in.Else] {
+					return fmt.Errorf("ir: %s.%s: br to foreign block", f.Name, b.Name)
+				}
+			case OpCall:
+				if in.Callee == "" {
+					return fmt.Errorf("ir: %s.%s: call with empty callee", f.Name, b.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyModule verifies every function and that calls resolve to defined
+// functions or registered intrinsic names.
+func VerifyModule(m *Module, extern map[string]bool) error {
+	for _, f := range m.Functions() {
+		if err := Verify(f); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != OpCall {
+					continue
+				}
+				if _, ok := m.Funcs[in.Callee]; ok {
+					callee := m.Funcs[in.Callee]
+					if len(in.Args) != callee.NumParams {
+						return fmt.Errorf("ir: %s calls %s with %d args, want %d",
+							f.Name, in.Callee, len(in.Args), callee.NumParams)
+					}
+					continue
+				}
+				if extern != nil && extern[in.Callee] {
+					continue
+				}
+				return fmt.Errorf("ir: %s calls undefined %s", f.Name, in.Callee)
+			}
+		}
+	}
+	return nil
+}
+
+// Format renders a function as readable text (for debugging and golden
+// tests).
+func Format(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%d params, %d regs) {\n", f.Name, f.NumParams, f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(formatInstr(in))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func formatInstr(in *Instr) string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("v%d = const %d", in.Dst, in.Imm)
+	case OpFConst:
+		return fmt.Sprintf("v%d = fconst %g", in.Dst, in.FImm)
+	case OpMov:
+		return fmt.Sprintf("v%d = v%d", in.Dst, in.A)
+	case OpLoad:
+		return fmt.Sprintf("v%d = load [v%d+%d]", in.Dst, in.A, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store [v%d+%d] = v%d", in.A, in.Imm, in.B)
+	case OpAlloc:
+		if in.A != NoReg {
+			return fmt.Sprintf("v%d = alloc v%d", in.Dst, in.A)
+		}
+		return fmt.Sprintf("v%d = alloc %d", in.Dst, in.Imm)
+	case OpFree:
+		return fmt.Sprintf("free v%d", in.A)
+	case OpCall:
+		return fmt.Sprintf("v%d = call %s%v", in.Dst, in.Callee, in.Args)
+	case OpBr:
+		return fmt.Sprintf("br v%d ? %s : %s", in.A, in.Target.Name, in.Else.Name)
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", in.Target.Name)
+	case OpRet:
+		if in.A == NoReg {
+			return "ret"
+		}
+		return fmt.Sprintf("ret v%d", in.A)
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("v%d = %s.%d v%d, v%d", in.Dst, in.Op, in.Pred, in.A, in.B)
+	case OpGuard:
+		if in.Region {
+			return fmt.Sprintf("carat.guard.region v%d", in.A)
+		}
+		return fmt.Sprintf("carat.guard [v%d+%d]", in.A, in.Imm)
+	case OpTrackAlloc, OpTrackFree, OpTrackEsc, OpYieldCheck, OpPoll:
+		if in.A != NoReg {
+			return fmt.Sprintf("%s v%d", in.Op, in.A)
+		}
+		return in.Op.String()
+	default:
+		return fmt.Sprintf("v%d = %s v%d, v%d", in.Dst, in.Op, in.A, in.B)
+	}
+}

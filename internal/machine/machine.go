@@ -1,0 +1,410 @@
+// Package machine implements the simulated hardware substrate: a
+// multi-CPU, multi-socket machine with per-CPU preemptible execution,
+// local APIC timers, inter-processor interrupts, and two interrupt
+// delivery mechanisms — classic IDT dispatch and the paper's proposed
+// pipeline (branch-injection) delivery (§V-D).
+//
+// The machine is a discrete-event model: computation is expressed as
+// "run N cycles, then call back", and interrupts genuinely preempt
+// in-flight runs, exactly the structure the paper's latency arguments
+// depend on. All costs come from internal/model.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Vector identifies an interrupt vector.
+type Vector int
+
+// Conventional vectors used by the simulated kernels.
+const (
+	VecTimer     Vector = 0x20
+	VecIPI       Vector = 0x21
+	VecHeartbeat Vector = 0x22
+	VecDevice    Vector = 0x30
+)
+
+// Delivery selects the interrupt delivery mechanism for a vector.
+type Delivery int
+
+const (
+	// DeliverIDT is the classic interrupt descriptor table dispatch:
+	// ~1000 cycles to the first handler instruction (§V-D).
+	DeliverIDT Delivery = iota
+	// DeliverPipeline is the paper's proposed branch-injection delivery:
+	// the interrupt enters the pipeline as if it were a predicted branch.
+	// It is only legal in an interwoven (single privilege level) system.
+	DeliverPipeline
+)
+
+// Topology describes sockets and cores.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+}
+
+// NumCPUs returns the total CPU count.
+func (t Topology) NumCPUs() int { return t.Sockets * t.CoresPerSocket }
+
+// IntrContext is passed to interrupt handlers. Handlers mutate simulated
+// state immediately and report their execution cost through AddCost.
+type IntrContext struct {
+	CPU    *CPU
+	Vector Vector
+	// cost accumulates handler execution cycles.
+	cost int64
+	// resched requests that, after the handler returns, the kernel's
+	// resched hook decide what runs next instead of auto-resuming the
+	// preempted work.
+	resched bool
+}
+
+// AddCost accounts cycles of handler work.
+func (c *IntrContext) AddCost(cycles int64) { c.cost += cycles }
+
+// RequestResched asks the kernel layer to make a scheduling decision
+// when the handler completes.
+func (c *IntrContext) RequestResched() { c.resched = true }
+
+// Handler is an interrupt handler body.
+type Handler func(*IntrContext)
+
+// PausedRun describes work that an interrupt preempted.
+type PausedRun struct {
+	// Remaining is the unexecuted portion of the run, in cycles.
+	Remaining int64
+	// Done is the original completion callback.
+	Done func()
+}
+
+// ReschedHook lets a kernel take over after a handler that requested a
+// reschedule. It receives the preempted work (nil if the CPU was idle)
+// and must arrange all future execution on the CPU; the machine will not
+// auto-resume.
+type ReschedHook func(cpu *CPU, paused *PausedRun)
+
+// CPUStats accumulates per-CPU accounting.
+type CPUStats struct {
+	BusyCycles     int64 // cycles spent in Run work
+	HandlerCycles  int64 // cycles spent in handler bodies
+	DispatchCycles int64 // cycles spent in interrupt entry/exit paths
+	Interrupts     int64 // interrupts delivered
+	IPIsSent       int64
+	Preemptions    int64 // runs preempted by interrupts
+}
+
+type pendingIntr struct {
+	vec Vector
+	at  sim.Time
+}
+
+// CPU is one simulated hardware thread.
+type CPU struct {
+	ID     int
+	Socket int
+
+	m   *Machine
+	eng *sim.Engine
+
+	// Execution state: at most one run in flight.
+	running      bool
+	runEv        *sim.Event
+	runResumedAt sim.Time
+	runRemaining int64
+	runDone      func()
+
+	// Interrupt state.
+	maskCount int
+	inHandler bool
+	pending   []pendingIntr
+	handlers  map[Vector]Handler
+	delivery  map[Vector]Delivery
+	resched   ReschedHook
+
+	apic *LAPIC
+
+	Stats CPUStats
+}
+
+// Machine is the full simulated platform.
+type Machine struct {
+	Eng   *sim.Engine
+	Model model.Model
+	Topo  Topology
+	CPUs  []*CPU
+	RNG   *sim.RNG
+}
+
+// New constructs a machine with the given topology and cost model. The
+// seed fixes all stochastic behavior.
+func New(eng *sim.Engine, m model.Model, topo Topology, seed uint64) *Machine {
+	if topo.Sockets <= 0 || topo.CoresPerSocket <= 0 {
+		panic("machine: invalid topology")
+	}
+	mach := &Machine{
+		Eng:   eng,
+		Model: m,
+		Topo:  topo,
+		RNG:   sim.NewRNG(seed),
+	}
+	n := topo.NumCPUs()
+	mach.CPUs = make([]*CPU, n)
+	for i := 0; i < n; i++ {
+		cpu := &CPU{
+			ID:       i,
+			Socket:   i / topo.CoresPerSocket,
+			m:        mach,
+			eng:      eng,
+			handlers: make(map[Vector]Handler),
+			delivery: make(map[Vector]Delivery),
+		}
+		cpu.apic = newLAPIC(cpu)
+		mach.CPUs[i] = cpu
+	}
+	return mach
+}
+
+// Now returns the current simulated time.
+func (m *Machine) Now() sim.Time { return m.Eng.Now() }
+
+// CPU returns the CPU with the given id.
+func (m *Machine) CPU(id int) *CPU { return m.CPUs[id] }
+
+// APIC returns the CPU's local APIC.
+func (c *CPU) APIC() *LAPIC { return c.apic }
+
+// Machine returns the owning machine.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// SetHandler installs the handler for a vector.
+func (c *CPU) SetHandler(v Vector, h Handler) { c.handlers[v] = h }
+
+// SetDelivery selects the delivery mechanism for a vector on this CPU.
+func (c *CPU) SetDelivery(v Vector, d Delivery) { c.delivery[v] = d }
+
+// SetReschedHook installs the kernel's scheduling takeover hook.
+func (c *CPU) SetReschedHook(h ReschedHook) { c.resched = h }
+
+// Running reports whether the CPU has a run in flight.
+func (c *CPU) Running() bool { return c.running }
+
+// DisableInterrupts masks interrupts (counting; nestable).
+func (c *CPU) DisableInterrupts() { c.maskCount++ }
+
+// EnableInterrupts unmasks interrupts and drains any pending ones.
+func (c *CPU) EnableInterrupts() {
+	if c.maskCount == 0 {
+		panic("machine: unbalanced EnableInterrupts")
+	}
+	c.maskCount--
+	if c.maskCount == 0 && !c.inHandler {
+		c.drainPending()
+	}
+}
+
+// InterruptsEnabled reports whether the CPU will accept interrupts now.
+func (c *CPU) InterruptsEnabled() bool { return c.maskCount == 0 && !c.inHandler }
+
+// Run executes cycles of work on the CPU, then calls done. The CPU must
+// be idle (sequencing is the kernel layer's job). Interrupts can preempt
+// the run; preempted work resumes automatically after the handler unless
+// the handler requested a reschedule and a hook is installed.
+func (c *CPU) Run(cycles int64, done func()) {
+	if c.running {
+		panic(fmt.Sprintf("machine: CPU %d already running", c.ID))
+	}
+	if cycles < 0 {
+		cycles = 0
+	}
+	c.startRun(cycles, done)
+}
+
+func (c *CPU) startRun(cycles int64, done func()) {
+	c.running = true
+	c.runRemaining = cycles
+	c.runDone = done
+	c.runResumedAt = c.eng.Now()
+	c.runEv = c.eng.After(sim.Time(cycles), c.finishRun)
+}
+
+func (c *CPU) finishRun() {
+	c.Stats.BusyCycles += c.eng.Now().Sub(c.runResumedAt)
+	done := c.runDone
+	c.running = false
+	c.runEv = nil
+	c.runDone = nil
+	c.runRemaining = 0
+	if done != nil {
+		done()
+	}
+}
+
+// pauseRun suspends the in-flight run and returns its descriptor.
+func (c *CPU) pauseRun() *PausedRun {
+	if !c.running {
+		return nil
+	}
+	consumed := c.eng.Now().Sub(c.runResumedAt)
+	c.Stats.BusyCycles += consumed
+	remaining := c.runRemaining - consumed
+	if remaining < 0 {
+		remaining = 0
+	}
+	c.runEv.Cancel()
+	paused := &PausedRun{Remaining: remaining, Done: c.runDone}
+	c.running = false
+	c.runEv = nil
+	c.runDone = nil
+	c.runRemaining = 0
+	c.Stats.Preemptions++
+	return paused
+}
+
+// Resume restarts previously paused work on the CPU.
+func (c *CPU) Resume(p *PausedRun) {
+	if p == nil {
+		return
+	}
+	c.Run(p.Remaining, p.Done)
+}
+
+// Raise delivers an interrupt to this CPU at the current simulated time.
+// If the CPU is masked or already in a handler the interrupt is pended
+// (x86-like: IF is clear during handlers).
+func (c *CPU) Raise(v Vector) {
+	if c.maskCount > 0 || c.inHandler {
+		c.pending = append(c.pending, pendingIntr{vec: v, at: c.eng.Now()})
+		return
+	}
+	c.dispatch(v)
+}
+
+func (c *CPU) drainPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	p := c.pending[0]
+	c.pending = c.pending[1:]
+	c.dispatch(p.vec)
+}
+
+// dispatch runs the entry path, handler, and exit path for vector v,
+// preempting any in-flight run.
+func (c *CPU) dispatch(v Vector) {
+	h, ok := c.handlers[v]
+	if !ok {
+		// Unhandled vectors are dropped, like a masked line.
+		return
+	}
+	paused := c.pauseRun()
+	c.inHandler = true
+	c.Stats.Interrupts++
+
+	var entry, exit int64
+	switch c.delivery[v] {
+	case DeliverPipeline:
+		// Branch-injection delivery: the interrupt costs about as much
+		// as a correctly predicted branch; return is an MSR-mediated
+		// jump similar to sysret.
+		entry = c.m.Model.HW.PredictedBranch
+		exit = c.m.Model.HW.PredictedBranch + 2
+	default:
+		entry = c.m.Model.HW.InterruptDispatch
+		exit = c.m.Model.HW.InterruptReturn
+	}
+	c.Stats.DispatchCycles += entry + exit
+
+	// Entry path, then handler body, then exit path, then resume.
+	c.eng.After(sim.Time(entry), func() {
+		ctx := &IntrContext{CPU: c, Vector: v}
+		h(ctx)
+		c.Stats.HandlerCycles += ctx.cost
+		c.eng.After(sim.Time(ctx.cost+exit), func() {
+			c.inHandler = false
+			// Deliver pended interrupts before resuming, mirroring
+			// hardware that re-checks interrupt lines at iret; then
+			// either hand off to the kernel's resched hook or resume
+			// the preempted work.
+			fin := func() { c.Resume(paused) }
+			if ctx.resched && c.resched != nil {
+				hook := c.resched
+				fin = func() { hook(c, paused) }
+			}
+			if c.maskCount == 0 && len(c.pending) > 0 {
+				c.chainPendingThen(fin)
+				return
+			}
+			fin()
+		})
+	})
+}
+
+// chainPendingThen dispatches all pended interrupts back-to-back, then
+// calls fin. Each pended dispatch pays full entry/exit costs.
+func (c *CPU) chainPendingThen(fin func()) {
+	if len(c.pending) == 0 {
+		fin()
+		return
+	}
+	p := c.pending[0]
+	c.pending = c.pending[1:]
+	h, ok := c.handlers[p.vec]
+	if !ok {
+		c.chainPendingThen(fin)
+		return
+	}
+	c.inHandler = true
+	c.Stats.Interrupts++
+	var entry, exit int64
+	switch c.delivery[p.vec] {
+	case DeliverPipeline:
+		entry = c.m.Model.HW.PredictedBranch
+		exit = c.m.Model.HW.PredictedBranch + 2
+	default:
+		entry = c.m.Model.HW.InterruptDispatch
+		exit = c.m.Model.HW.InterruptReturn
+	}
+	c.Stats.DispatchCycles += entry + exit
+	c.eng.After(sim.Time(entry), func() {
+		ctx := &IntrContext{CPU: c, Vector: p.vec}
+		h(ctx)
+		c.Stats.HandlerCycles += ctx.cost
+		c.eng.After(sim.Time(ctx.cost+exit), func() {
+			c.inHandler = false
+			c.chainPendingThen(fin)
+		})
+	})
+}
+
+// SendIPI sends an inter-processor interrupt to dst.
+func (c *CPU) SendIPI(dst *CPU, v Vector) {
+	c.Stats.IPIsSent++
+	lat := c.m.Model.HW.IPILatency
+	if c.Socket != dst.Socket {
+		lat += c.m.Model.Coherence.RemoteSocket
+	}
+	c.eng.After(sim.Time(lat), func() { dst.Raise(v) })
+}
+
+// BroadcastIPI sends an IPI to every other CPU. The LAPIC broadcast
+// mechanism delivers with a small per-destination skew.
+func (c *CPU) BroadcastIPI(v Vector) {
+	i := int64(0)
+	for _, dst := range c.m.CPUs {
+		if dst == c {
+			continue
+		}
+		c.Stats.IPIsSent++
+		lat := c.m.Model.HW.IPILatency + i*c.m.Model.HW.IPIBroadcastPerCPU
+		if c.Socket != dst.Socket {
+			lat += c.m.Model.Coherence.RemoteSocket
+		}
+		d := dst
+		c.eng.After(sim.Time(lat), func() { d.Raise(v) })
+		i++
+	}
+}

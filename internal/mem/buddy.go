@@ -1,0 +1,265 @@
+// Package mem implements the memory-management substrate described in the
+// paper's Nautilus background (§III): buddy-system allocators selected per
+// NUMA zone, identity-mapped paging with the largest possible page size,
+// and a TLB model that shows why that design makes TLB misses "extremely
+// rare ... and, indeed, if the TLB entries can cover the physical address
+// space of the machine, do not occur at all after startup".
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied.
+var ErrOutOfMemory = errors.New("mem: out of memory")
+
+// ErrBadFree is returned for frees of addresses that were never allocated.
+var ErrBadFree = errors.New("mem: free of unallocated address")
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Buddy is a binary-buddy allocator over a contiguous region. It is the
+// allocator Nautilus uses for each memory zone: power-of-two blocks,
+// split on demand, coalesced on free.
+type Buddy struct {
+	base     Addr
+	size     uint64
+	minOrder uint // log2 of smallest block
+	maxOrder uint // log2 of the whole region
+
+	// freeLists[o] holds the offsets (relative to base) of free blocks
+	// of order o.
+	freeLists [][]uint64
+	// allocated maps offset -> order for live allocations.
+	allocated map[uint64]uint
+	// blockFree tracks which (offset,order) buddies are free for
+	// coalescing checks.
+	blockFree map[uint64]map[uint]bool
+
+	// Stats.
+	FreeBytes  uint64
+	UsedBytes  uint64
+	Allocs     uint64
+	Frees      uint64
+	Splits     uint64
+	Coalesces  uint64
+	PeakUsed   uint64
+	FailedAllo uint64
+}
+
+// NewBuddy creates an allocator managing size bytes starting at base.
+// size must be a power of two and at least 1<<minOrder.
+func NewBuddy(base Addr, size uint64, minOrder uint) (*Buddy, error) {
+	if size == 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("mem: buddy size %d not a power of two", size)
+	}
+	maxOrder := uint(0)
+	for 1<<maxOrder < size {
+		maxOrder++
+	}
+	if maxOrder < minOrder {
+		return nil, fmt.Errorf("mem: region smaller than min block")
+	}
+	b := &Buddy{
+		base:      base,
+		size:      size,
+		minOrder:  minOrder,
+		maxOrder:  maxOrder,
+		freeLists: make([][]uint64, maxOrder+1),
+		allocated: make(map[uint64]uint),
+		blockFree: make(map[uint64]map[uint]bool),
+		FreeBytes: size,
+	}
+	b.pushFree(0, maxOrder)
+	return b, nil
+}
+
+func (b *Buddy) pushFree(off uint64, order uint) {
+	b.freeLists[order] = append(b.freeLists[order], off)
+	m := b.blockFree[off]
+	if m == nil {
+		m = make(map[uint]bool)
+		b.blockFree[off] = m
+	}
+	m[order] = true
+}
+
+// popFree removes a specific free block (off, order); returns false if it
+// is not free at that order.
+func (b *Buddy) popFreeAt(off uint64, order uint) bool {
+	m := b.blockFree[off]
+	if m == nil || !m[order] {
+		return false
+	}
+	delete(m, order)
+	if len(m) == 0 {
+		delete(b.blockFree, off)
+	}
+	list := b.freeLists[order]
+	for i, o := range list {
+		if o == off {
+			list[i] = list[len(list)-1]
+			b.freeLists[order] = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Buddy) popAnyFree(order uint) (uint64, bool) {
+	list := b.freeLists[order]
+	if len(list) == 0 {
+		return 0, false
+	}
+	off := list[len(list)-1]
+	b.freeLists[order] = list[:len(list)-1]
+	m := b.blockFree[off]
+	delete(m, order)
+	if len(m) == 0 {
+		delete(b.blockFree, off)
+	}
+	return off, true
+}
+
+// orderFor returns the smallest order whose block size fits n bytes.
+func (b *Buddy) orderFor(n uint64) uint {
+	o := b.minOrder
+	for uint64(1)<<o < n {
+		o++
+	}
+	return o
+}
+
+// BlockSize returns the allocation granularity for a request of n bytes.
+func (b *Buddy) BlockSize(n uint64) uint64 { return 1 << b.orderFor(n) }
+
+// Alloc allocates at least n bytes and returns the block address.
+func (b *Buddy) Alloc(n uint64) (Addr, error) {
+	if n == 0 {
+		n = 1
+	}
+	order := b.orderFor(n)
+	if order > b.maxOrder {
+		b.FailedAllo++
+		return 0, ErrOutOfMemory
+	}
+	// Find the smallest free block at or above the needed order.
+	cur := order
+	for cur <= b.maxOrder {
+		if len(b.freeLists[cur]) > 0 {
+			break
+		}
+		cur++
+	}
+	if cur > b.maxOrder {
+		b.FailedAllo++
+		return 0, ErrOutOfMemory
+	}
+	off, _ := b.popAnyFree(cur)
+	// Split down to the needed order.
+	for cur > order {
+		cur--
+		b.Splits++
+		buddy := off + (1 << cur)
+		b.pushFree(buddy, cur)
+	}
+	b.allocated[off] = order
+	sz := uint64(1) << order
+	b.FreeBytes -= sz
+	b.UsedBytes += sz
+	if b.UsedBytes > b.PeakUsed {
+		b.PeakUsed = b.UsedBytes
+	}
+	b.Allocs++
+	return b.base + Addr(off), nil
+}
+
+// Free releases a previously allocated block, coalescing with its buddy
+// chain where possible.
+func (b *Buddy) Free(a Addr) error {
+	off := uint64(a - b.base)
+	order, ok := b.allocated[off]
+	if !ok {
+		return ErrBadFree
+	}
+	delete(b.allocated, off)
+	sz := uint64(1) << order
+	b.FreeBytes += sz
+	b.UsedBytes -= sz
+	b.Frees++
+	// Coalesce upward.
+	for order < b.maxOrder {
+		buddy := off ^ (1 << order)
+		if !b.popFreeAt(buddy, order) {
+			break
+		}
+		b.Coalesces++
+		if buddy < off {
+			off = buddy
+		}
+		order++
+	}
+	b.pushFree(off, order)
+	return nil
+}
+
+// SizeOf returns the block size backing the allocation at a.
+func (b *Buddy) SizeOf(a Addr) (uint64, bool) {
+	order, ok := b.allocated[uint64(a-b.base)]
+	if !ok {
+		return 0, false
+	}
+	return 1 << order, true
+}
+
+// Base returns the region base address.
+func (b *Buddy) Base() Addr { return b.base }
+
+// Size returns the managed region size in bytes.
+func (b *Buddy) Size() uint64 { return b.size }
+
+// LiveAllocs returns the number of outstanding allocations.
+func (b *Buddy) LiveAllocs() int { return len(b.allocated) }
+
+// LargestFree returns the size of the largest free block — the metric
+// that defragmentation (CARAT's memory mobility, §IV-A) improves.
+func (b *Buddy) LargestFree() uint64 {
+	for o := int(b.maxOrder); o >= int(b.minOrder); o-- {
+		if len(b.freeLists[o]) > 0 {
+			return 1 << uint(o)
+		}
+	}
+	return 0
+}
+
+// CheckInvariants validates internal consistency; used by property tests.
+func (b *Buddy) CheckInvariants() error {
+	var free uint64
+	for o, list := range b.freeLists {
+		for _, off := range list {
+			if off%(1<<uint(o)) != 0 {
+				return fmt.Errorf("free block 0x%x misaligned for order %d", off, o)
+			}
+			free += 1 << uint(o)
+		}
+	}
+	var used uint64
+	for off, o := range b.allocated {
+		if off%(1<<o) != 0 {
+			return fmt.Errorf("allocated block 0x%x misaligned for order %d", off, o)
+		}
+		used += 1 << o
+	}
+	if free != b.FreeBytes {
+		return fmt.Errorf("free bytes %d != accounted %d", free, b.FreeBytes)
+	}
+	if used != b.UsedBytes {
+		return fmt.Errorf("used bytes %d != accounted %d", used, b.UsedBytes)
+	}
+	if free+used != b.size {
+		return fmt.Errorf("free %d + used %d != size %d", free, used, b.size)
+	}
+	return nil
+}

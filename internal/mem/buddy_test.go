@@ -1,0 +1,315 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBuddyBasicAllocFree(t *testing.T) {
+	b, err := NewBuddy(0x1000, 1<<20, 6) // 1 MiB, 64 B min
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, ok := b.SizeOf(a); !ok || sz != 128 {
+		t.Fatalf("block size = %d, want 128", sz)
+	}
+	if err := b.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.UsedBytes != 0 || b.FreeBytes != 1<<20 {
+		t.Fatalf("used=%d free=%d", b.UsedBytes, b.FreeBytes)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyRejectsNonPow2(t *testing.T) {
+	if _, err := NewBuddy(0, 1000, 4); err == nil {
+		t.Fatal("expected error for non-power-of-two size")
+	}
+}
+
+func TestBuddyFullCoalesce(t *testing.T) {
+	b, _ := NewBuddy(0, 1<<16, 4)
+	var addrs []Addr
+	for i := 0; i < 64; i++ {
+		a, err := b.Alloc(1 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if b.FreeBytes != 0 {
+		t.Fatalf("free = %d, want 0", b.FreeBytes)
+	}
+	for _, a := range addrs {
+		if err := b.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything, the region must coalesce back to one
+	// maximal block.
+	if got := b.LargestFree(); got != 1<<16 {
+		t.Fatalf("largest free = %d, want full region", got)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyOOM(t *testing.T) {
+	b, _ := NewBuddy(0, 1<<12, 4)
+	if _, err := b.Alloc(1 << 13); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want OOM", err)
+	}
+	a, _ := b.Alloc(1 << 12)
+	if _, err := b.Alloc(16); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want OOM when full", err)
+	}
+	_ = b.Free(a)
+	if _, err := b.Alloc(16); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestBuddyBadFree(t *testing.T) {
+	b, _ := NewBuddy(0, 1<<12, 4)
+	if err := b.Free(Addr(64)); err != ErrBadFree {
+		t.Fatalf("err = %v, want ErrBadFree", err)
+	}
+	a, _ := b.Alloc(64)
+	_ = b.Free(a)
+	if err := b.Free(a); err != ErrBadFree {
+		t.Fatalf("double free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestBuddyDistinctAddresses(t *testing.T) {
+	b, _ := NewBuddy(0, 1<<16, 4)
+	seen := make(map[Addr]bool)
+	for i := 0; i < 100; i++ {
+		a, err := b.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x returned twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+// TestBuddyRandomWorkload is a property test: under a random alloc/free
+// sequence the allocator's invariants always hold and no address overlap
+// occurs.
+func TestBuddyRandomWorkload(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b, _ := NewBuddy(0x4000, 1<<18, 5)
+		type live struct {
+			addr Addr
+			size uint64
+		}
+		var lives []live
+		for step := 0; step < 500; step++ {
+			if rng.Intn(2) == 0 || len(lives) == 0 {
+				n := uint64(rng.Intn(4000) + 1)
+				a, err := b.Alloc(n)
+				if err != nil {
+					continue // OOM under pressure is fine
+				}
+				sz, _ := b.SizeOf(a)
+				// Overlap check against all live blocks.
+				for _, l := range lives {
+					if a < l.addr+Addr(l.size) && l.addr < a+Addr(sz) {
+						return false
+					}
+				}
+				lives = append(lives, live{a, sz})
+			} else {
+				i := rng.Intn(len(lives))
+				if err := b.Free(lives[i].addr); err != nil {
+					return false
+				}
+				lives = append(lives[:i], lives[i+1:]...)
+			}
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNUMAPreferredZone(t *testing.T) {
+	n, err := NewNUMA(2, 1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Alloc(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := n.ZoneOf(a); z == nil || z.ID != 1 {
+		t.Fatalf("allocation landed in zone %v, want 1", z)
+	}
+	if err := n.Free(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNUMAFallback(t *testing.T) {
+	n, _ := NewNUMA(2, 1<<12, 4)
+	// Exhaust zone 0.
+	if _, err := n.Alloc(0, 1<<12); err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := n.ZoneOf(a); z.ID != 1 {
+		t.Fatalf("fallback went to zone %d, want 1", z.ID)
+	}
+}
+
+func TestNUMADistance(t *testing.T) {
+	n, _ := NewNUMA(3, 1<<12, 4)
+	if n.Distance(0, 0) != 10 || n.Distance(0, 2) != 21 {
+		t.Fatal("distance matrix wrong")
+	}
+}
+
+func TestNUMABadZone(t *testing.T) {
+	n, _ := NewNUMA(1, 1<<12, 4)
+	if _, err := n.Alloc(5, 64); err == nil {
+		t.Fatal("expected error for bad zone")
+	}
+	if err := n.Free(Addr(1 << 40)); err != ErrBadFree {
+		t.Fatal("expected ErrBadFree for foreign address")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(16, 4, 12)
+	if tlb.Access(Addr(0x1000)) {
+		t.Fatal("cold access hit")
+	}
+	if !tlb.Access(Addr(0x1008)) {
+		t.Fatal("same-page access missed")
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(4, 2, 12)
+	tlb.Access(Addr(0x1000))
+	tlb.Flush()
+	if tlb.Access(Addr(0x1000)) {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: third distinct page evicts the least recently used.
+	tlb := NewTLB(1, 2, 12)
+	tlb.Access(Addr(0x0000)) // page 0
+	tlb.Access(Addr(0x1000)) // page 1
+	tlb.Access(Addr(0x0000)) // touch page 0 (page 1 is now LRU)
+	tlb.Access(Addr(0x2000)) // page 2 evicts page 1
+	if !tlb.Access(Addr(0x0000)) {
+		t.Fatal("page 0 evicted despite being MRU")
+	}
+	if tlb.Access(Addr(0x1000)) {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+// TestTLBReachProperty encodes the paper's §III claim: with large pages
+// whose total reach covers the working set, misses stop entirely after
+// warm-up; with 4K pages over the same working set, they do not.
+func TestTLBReachProperty(t *testing.T) {
+	const workingSet = 64 << 20 // 64 MiB
+	// 2 MiB pages, 64 entries -> 128 MiB reach: covers the set.
+	large := NewTLB(16, 4, 21)
+	if large.Reach() < workingSet {
+		t.Fatal("test geometry wrong")
+	}
+	// 4 KiB pages, 64 entries -> 256 KiB reach: far too small.
+	small := NewTLB(16, 4, 12)
+
+	rng := sim.NewRNG(99)
+	var addrs []Addr
+	for i := 0; i < 50_000; i++ {
+		addrs = append(addrs, Addr(rng.Int63n(workingSet)))
+	}
+	// Warm-up pass.
+	for _, a := range addrs {
+		large.Access(a)
+		small.Access(a)
+	}
+	largeWarmMisses := large.Misses
+	smallWarmMisses := small.Misses
+	// Steady-state pass over the same stream.
+	for _, a := range addrs {
+		large.Access(a)
+		small.Access(a)
+	}
+	if large.Misses != largeWarmMisses {
+		t.Fatalf("large-page TLB missed %d times after warm-up; paper property violated",
+			large.Misses-largeWarmMisses)
+	}
+	if small.Misses == smallWarmMisses {
+		t.Fatal("4K TLB implausibly stopped missing")
+	}
+}
+
+func TestPagingCostModes(t *testing.T) {
+	walk, fault := int64(220), int64(4000)
+
+	none := NewPagingCost(PagingNone, nil, walk, fault)
+	if c := none.Access(Addr(0x123456)); c != 0 {
+		t.Fatalf("PagingNone cost = %d", c)
+	}
+
+	ident := NewPagingCost(PagingIdentityLarge, NewTLB(16, 4, 30), walk, fault)
+	first := ident.Access(Addr(0x1000))
+	second := ident.Access(Addr(0x2000)) // same 1 GiB page
+	if first != walk || second != 0 {
+		t.Fatalf("identity costs = %d,%d", first, second)
+	}
+	if ident.Faults != 0 {
+		t.Fatal("identity mapping must never fault")
+	}
+
+	demand := NewPagingCost(PagingDemand4K, NewTLB(16, 4, 12), walk, fault)
+	c1 := demand.Access(Addr(0x1000))
+	if c1 != walk+fault {
+		t.Fatalf("first touch cost = %d, want %d", c1, walk+fault)
+	}
+	c2 := demand.Access(Addr(0x1000))
+	if c2 != 0 {
+		t.Fatalf("warm access cost = %d", c2)
+	}
+	if demand.Faults != 1 {
+		t.Fatalf("faults = %d", demand.Faults)
+	}
+}
+
+func TestTLBInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTLB(0, 1, 12)
+}

@@ -1,0 +1,105 @@
+package mem
+
+import "fmt"
+
+// Zone is a NUMA memory zone backed by its own buddy allocator, matching
+// Nautilus's "allocations are done with buddy system allocators that are
+// selected based on the target zone" (§III).
+type Zone struct {
+	ID    int
+	Buddy *Buddy
+}
+
+// NUMA models the machine's zones and zone-distance matrix.
+type NUMA struct {
+	Zones []*Zone
+	// distance[i][j] is the relative access cost from zone i to zone j
+	// (10 = local, SLIT-style).
+	distance [][]int
+}
+
+// NewNUMA builds n zones of zoneSize bytes each (power of two), with a
+// simple two-level distance matrix: 10 local, 21 remote.
+func NewNUMA(n int, zoneSize uint64, minOrder uint) (*NUMA, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mem: need at least one zone")
+	}
+	numa := &NUMA{distance: make([][]int, n)}
+	var base Addr
+	for i := 0; i < n; i++ {
+		b, err := NewBuddy(base, zoneSize, minOrder)
+		if err != nil {
+			return nil, err
+		}
+		numa.Zones = append(numa.Zones, &Zone{ID: i, Buddy: b})
+		base += Addr(zoneSize)
+		numa.distance[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				numa.distance[i][j] = 10
+			} else {
+				numa.distance[i][j] = 21
+			}
+		}
+	}
+	return numa, nil
+}
+
+// Distance returns the SLIT-style distance between two zones.
+func (n *NUMA) Distance(from, to int) int { return n.distance[from][to] }
+
+// ZoneOf returns the zone containing address a, or nil.
+func (n *NUMA) ZoneOf(a Addr) *Zone {
+	for _, z := range n.Zones {
+		if a >= z.Buddy.Base() && uint64(a-z.Buddy.Base()) < z.Buddy.Size() {
+			return z
+		}
+	}
+	return nil
+}
+
+// Alloc allocates from the preferred zone, falling back to the nearest
+// zone with space (Nautilus keeps essential state "in the most desirable
+// zone" for bound threads; fallback preserves progress under pressure).
+func (n *NUMA) Alloc(preferred int, size uint64) (Addr, error) {
+	if preferred < 0 || preferred >= len(n.Zones) {
+		return 0, fmt.Errorf("mem: bad zone %d", preferred)
+	}
+	if a, err := n.Zones[preferred].Buddy.Alloc(size); err == nil {
+		return a, nil
+	}
+	// Fallback in increasing distance order.
+	type cand struct {
+		zone *Zone
+		dist int
+	}
+	var cands []cand
+	for i, z := range n.Zones {
+		if i == preferred {
+			continue
+		}
+		cands = append(cands, cand{z, n.distance[preferred][i]})
+	}
+	for len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].dist < cands[best].dist {
+				best = i
+			}
+		}
+		if a, err := cands[best].zone.Buddy.Alloc(size); err == nil {
+			return a, nil
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return 0, ErrOutOfMemory
+}
+
+// Free releases an allocation made through Alloc.
+func (n *NUMA) Free(a Addr) error {
+	z := n.ZoneOf(a)
+	if z == nil {
+		return ErrBadFree
+	}
+	return z.Buddy.Free(a)
+}

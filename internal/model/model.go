@@ -1,0 +1,345 @@
+// Package model centralizes the cycle-cost parameters of the simulated
+// hardware/software stacks. Every magnitude that the paper (or the prior
+// work it cites) reports is encoded here once, so experiments share a
+// single calibration and ablations can perturb it coherently.
+//
+// Calibration sources, all from the paper text:
+//
+//   - Interrupt/exception dispatch ≈ 1000 cycles (§V-D, citing [29], [36]).
+//   - Linux non-RT user-level thread context switch with FP state ≈ 5000
+//     cycles on Phi KNL (§IV-C, Fig. 4 caption).
+//   - Nautilus kernel thread switch ≈ half of Linux; compiler-timed fibers
+//     slightly more than half again (§IV-C): 4x lower without FP state,
+//     2.3x lower with FP state.
+//   - Preemption granularity limit < 600 cycles with compiler timing.
+//   - Virtine start-up overheads as low as 100 µs (§IV-D).
+//   - Heartbeat targets ♥ = 20–100 µs at 16 CPUs (§IV-B).
+//   - Pipeline interrupts deliver at roughly predicted-branch latency,
+//     100–1000x better than dispatch (§V-D).
+package model
+
+// CyclesPerMicrosecond converts between the two time units the paper uses.
+// The simulated reference clock runs at 1 GHz unless a Machine overrides
+// it; KNL-like configs use 1.3-1.5 GHz, server configs 3.3 GHz (Fig. 7
+// caption: 2 x 3.3 GHz 12-core CPUs).
+const CyclesPerMicrosecond = 1000
+
+// HardwareCosts are machine-level latencies independent of the OS stack.
+type HardwareCosts struct {
+	// InterruptDispatch is the cost in cycles from interrupt occurrence
+	// to the first instruction of the handler (IDT path).
+	InterruptDispatch int64
+	// InterruptReturn is the iret-path cost back to the interrupted code.
+	InterruptReturn int64
+	// IPILatency is the cross-CPU interrupt delivery latency.
+	IPILatency int64
+	// IPIBroadcastPerCPU is the incremental cost per destination for a
+	// broadcast IPI (LAPIC broadcast amortizes most of it).
+	IPIBroadcastPerCPU int64
+	// PredictedBranch is the cost of a correctly predicted branch; the
+	// pipeline-interrupt proposal delivers simple interrupts at roughly
+	// this latency.
+	PredictedBranch int64
+	// MispredictedBranch is the pipeline-flush cost of a misprediction.
+	MispredictedBranch int64
+	// CallInstruction is the cost of a direct call (the compiler-timing
+	// replacement for a timer interrupt).
+	CallInstruction int64
+	// TimerProgram is the cost of programming the LAPIC timer.
+	TimerProgram int64
+	// FPStateSave / FPStateRestore cost of XSAVE/XRSTOR-class operations.
+	FPStateSave    int64
+	FPStateRestore int64
+	// GPRSaveRestore is the integer register file save+restore cost.
+	GPRSaveRestore int64
+	// CacheLineTransfer is the cost to move one line between cores on
+	// the same socket.
+	CacheLineTransfer int64
+	// TLBMiss is the page-walk cost on a TLB miss.
+	TLBMiss int64
+}
+
+// DefaultHardware returns x64-like costs calibrated to the paper.
+func DefaultHardware() HardwareCosts {
+	return HardwareCosts{
+		InterruptDispatch:  1000,
+		InterruptReturn:    350,
+		IPILatency:         600,
+		IPIBroadcastPerCPU: 12,
+		PredictedBranch:    2,
+		MispredictedBranch: 18,
+		CallInstruction:    4,
+		TimerProgram:       120,
+		FPStateSave:        550,
+		FPStateRestore:     550,
+		GPRSaveRestore:     140,
+		CacheLineTransfer:  110,
+		TLBMiss:            220,
+	}
+}
+
+// LinuxCosts model the commodity-stack overheads a parallel runtime pays
+// when it lives in user space above a general-purpose kernel.
+type LinuxCosts struct {
+	// SyscallEntry/Exit: user->kernel->user crossing costs, including
+	// Spectre/Meltdown era mitigations.
+	SyscallEntry int64
+	SyscallExit  int64
+	// SignalDeliver is the kernel work to deliver a POSIX signal to a
+	// user thread (dequeue, frame setup) beyond the crossing itself.
+	SignalDeliver int64
+	// SignalReturn is the sigreturn path.
+	SignalReturn int64
+	// TimerSlackJitterMu/Sigma parameterize high-resolution timer expiry
+	// jitter (cycles) under load.
+	TimerJitterMu    float64
+	TimerJitterSigma float64
+	// NoiseAlpha/Lo/Hi parameterize heavy-tailed OS noise (bounded
+	// Pareto): preemptions by kernel threads, RCU, SMIs.
+	NoiseAlpha  float64
+	NoiseLo     float64
+	NoiseHi     float64
+	NoiseEveryC int64 // average cycles between noise episodes per CPU
+	// SchedulerPick is the runqueue selection cost in the kernel
+	// scheduler (per context switch).
+	SchedulerPick int64
+	// MinTimerGranularity is the finest usable timer period (cycles);
+	// below this the kernel coalesces or drops expirations.
+	MinTimerGranularity int64
+	// ForkExec is the cost of spinning up a fresh process (for the
+	// virtine comparison baselines), in cycles.
+	ForkExec int64
+	// ContainerStart is a container-like sandbox start cost, in cycles.
+	ContainerStart int64
+	// ContextSwitchExtra is the general-purpose-kernel baggage per
+	// context switch beyond dispatch, scheduling, and state save:
+	// vruntime/cgroup accounting, lock traffic, mitigations. Calibrated
+	// so a Linux non-RT FP switch totals ≈5000 cycles on KNL (Fig. 4).
+	ContextSwitchExtra int64
+}
+
+// DefaultLinux returns Linux-like costs calibrated so that a non-RT
+// user-level thread context switch with FP state totals about 5000 cycles
+// and signal-based eventing shows the instability of Fig. 3.
+func DefaultLinux() LinuxCosts {
+	return LinuxCosts{
+		SyscallEntry:        700,
+		SyscallExit:         500,
+		SignalDeliver:       1900,
+		SignalReturn:        900,
+		TimerJitterMu:       2500,
+		TimerJitterSigma:    1400,
+		NoiseAlpha:          1.3,
+		NoiseLo:             2000,
+		NoiseHi:             2.0e6,
+		NoiseEveryC:         900_000,
+		SchedulerPick:       900,
+		MinTimerGranularity: 45_000, // ~45 µs effective floor under load
+		ForkExec:            900_000,
+		ContainerStart:      125_000_000,
+		ContextSwitchExtra:  1_544,
+	}
+}
+
+// NautilusCosts model the streamlined kernel-framework primitives (§III).
+type NautilusCosts struct {
+	// ThreadSwitch is the scheduler + context switch fixed cost,
+	// excluding FP state (added from HardwareCosts when enabled).
+	ThreadSwitch int64
+	// FiberYield is the cooperative fiber switch cost: no interrupt
+	// context, minimal state.
+	FiberYield int64
+	// TimingFrameworkCheck is the injected compiler-timing check cost
+	// when the check does not fire (a load, compare, predicted branch).
+	TimingFrameworkCheck int64
+	// TimingFrameworkFire is the cost when the check fires and calls
+	// into the timer framework (excluding any resulting switch).
+	TimingFrameworkFire int64
+	// EventWakeup is the kernel event signal/wakeup fast path.
+	EventWakeup int64
+	// ThreadCreate is thread creation+enqueue on a bound CPU.
+	ThreadCreate int64
+	// RTOverhead is the additional per-switch cost of the hard
+	// real-time (EDF admission/accounting) scheduler class.
+	RTOverhead int64
+}
+
+// DefaultNautilus returns Nautilus-like costs calibrated to Fig. 4:
+// kernel (non-RT) thread switch ≈ half of Linux's 5000 cycles, and
+// compiler-timed fibers slightly more than half again.
+func DefaultNautilus() NautilusCosts {
+	return NautilusCosts{
+		ThreadSwitch:         1100,
+		FiberYield:           180,
+		TimingFrameworkCheck: 6,
+		TimingFrameworkFire:  90,
+		EventWakeup:          250,
+		ThreadCreate:         800,
+		RTOverhead:           650,
+	}
+}
+
+// VirtineCosts model the Wasp microhypervisor lifecycle (§IV-D).
+type VirtineCosts struct {
+	// VMCreate is the hypervisor-side cost to create a VM container
+	// (KVM ioctls, memory regions), in cycles.
+	VMCreate int64
+	// Boot16, BootProtected, BootLong are the per-stage costs of
+	// bringing a virtine from reset through 16-bit, protected, and long
+	// mode. Bespoke contexts can stop early (§V-E).
+	Boot16        int64
+	BootProtected int64
+	BootLong      int64
+	// RuntimeShimInit is the minimal runtime/unikernel shim setup.
+	RuntimeShimInit int64
+	// SnapshotRestore is the cost to restore a pre-booted snapshot.
+	SnapshotRestore int64
+	// PoolHandoff is the cost to hand a warm, pooled VM to a caller.
+	PoolHandoff int64
+	// VMExitEntry is the world-switch cost of a VM exit + entry.
+	VMExitEntry int64
+	// HypercallMarshal is the per-argument marshalling cost.
+	HypercallMarshal int64
+}
+
+// DefaultVirtine calibrates to "start-up overheads as low as 100 µs":
+// cold boot to long mode plus shim lands near 100 µs at 1 GHz, with
+// snapshot and pooled paths far below it.
+func DefaultVirtine() VirtineCosts {
+	return VirtineCosts{
+		VMCreate:         55_000,
+		Boot16:           6_000,
+		BootProtected:    9_000,
+		BootLong:         17_000,
+		RuntimeShimInit:  13_000,
+		SnapshotRestore:  21_000,
+		PoolHandoff:      2_500,
+		VMExitEntry:      1_400,
+		HypercallMarshal: 60,
+	}
+}
+
+// CoherenceCosts model the memory-system magnitudes for the Fig. 7
+// experiment (dual-socket 3.3 GHz server, 32K/256K/2.5M L1/L2/L3).
+type CoherenceCosts struct {
+	L1Hit        int64
+	L2Hit        int64
+	L3Hit        int64
+	MemAccess    int64
+	DirLookup    int64 // directory access on the home node
+	HopLatency   int64 // per-interconnect-hop latency
+	RemoteSocket int64 // extra latency for cross-socket traversal
+	// Energy, in picojoules, per event; used for the interconnect
+	// energy reduction result (~53%).
+	EnergyPerHopPJ  float64
+	EnergyPerDirPJ  float64
+	EnergyPerMemPJ  float64
+	EnergyPerLinePJ float64 // per cache-line flit payload
+}
+
+// DefaultCoherence returns server-class memory-system costs.
+func DefaultCoherence() CoherenceCosts {
+	return CoherenceCosts{
+		L1Hit:           4,
+		L2Hit:           12,
+		L3Hit:           38,
+		MemAccess:       220,
+		DirLookup:       16,
+		HopLatency:      5,
+		RemoteSocket:    110,
+		EnergyPerHopPJ:  3.2,
+		EnergyPerDirPJ:  4.1,
+		EnergyPerMemPJ:  18.5,
+		EnergyPerLinePJ: 6.4,
+	}
+}
+
+// Model bundles all cost domains for one simulated platform.
+type Model struct {
+	HW        HardwareCosts
+	Linux     LinuxCosts
+	Nautilus  NautilusCosts
+	Virtine   VirtineCosts
+	Coherence CoherenceCosts
+	// FreqGHz is the simulated clock frequency, used to convert cycles
+	// to microseconds in reports.
+	FreqGHz float64
+}
+
+// Default returns the calibrated default platform model (1 GHz reference
+// clock; use KNL or Server for the platform-specific figures).
+func Default() Model {
+	return Model{
+		HW:        DefaultHardware(),
+		Linux:     DefaultLinux(),
+		Nautilus:  DefaultNautilus(),
+		Virtine:   DefaultVirtine(),
+		Coherence: DefaultCoherence(),
+		FreqGHz:   1.0,
+	}
+}
+
+// KNL returns a Xeon-Phi-KNL-like model: slow cores, expensive FP state,
+// many hardware threads. Fig. 4 and Fig. 6 run on this platform.
+//
+// The Fig. 4 calibration solves the paper's stated ratios exactly:
+// Linux non-RT FP switch ≈ 5000 cycles; Nautilus HW-timer thread FP
+// switch ≈ 2500 ("about half"); compiler-timed fiber switch 4.0x below
+// the thread path without FP state and 2.3x below with it; and the
+// no-FP compiler-timed switch lands under the 600-cycle granularity
+// limit the paper reports.
+func KNL() Model {
+	m := Default()
+	m.FreqGHz = 1.3
+	m.HW.InterruptDispatch = 1100
+	m.HW.InterruptReturn = 300
+	m.HW.GPRSaveRestore = 140
+	m.HW.FPStateSave = 308 // x2 = 616 cycles of FP state per switch
+	m.HW.FPStateRestore = 308
+	m.Linux.SchedulerPick = 1300
+	m.Nautilus.ThreadSwitch = 344
+	m.Nautilus.FiberYield = 261
+	m.Nautilus.TimingFrameworkFire = 70
+	return m
+}
+
+// Server returns a dual-socket 3.3 GHz server model (Fig. 7 platform).
+func Server() Model {
+	m := Default()
+	m.FreqGHz = 3.3
+	return m
+}
+
+// RISCV returns an OpenPiton-class RV64 open-hardware model (§V-F: "we
+// are currently exploring a port of Nautilus and other components to
+// RISC-V ... By working on open hardware, we anticipate being able to
+// more deeply explore hardware changes prompted by the interweaving
+// model"). The trap path is lean (direct mtvec dispatch, mret return,
+// no microcoded IDT walk), FP state is just the F/D register file, and
+// IPIs go through the CLINT; the clock is modest.
+func RISCV() Model {
+	m := Default()
+	m.FreqGHz = 0.8
+	m.HW.InterruptDispatch = 300
+	m.HW.InterruptReturn = 90
+	m.HW.IPILatency = 900
+	m.HW.FPStateSave = 130
+	m.HW.FPStateRestore = 130
+	m.HW.GPRSaveRestore = 110
+	m.HW.PredictedBranch = 1 // short in-order pipeline
+	m.HW.MispredictedBranch = 6
+	m.Nautilus.ThreadSwitch = 280
+	m.Nautilus.FiberYield = 140
+	m.Linux.SchedulerPick = 1100
+	return m
+}
+
+// CyclesToMicros converts cycles to microseconds under the model's clock.
+func (m Model) CyclesToMicros(c int64) float64 {
+	return float64(c) / (m.FreqGHz * 1000)
+}
+
+// MicrosToCycles converts microseconds to cycles under the model's clock.
+func (m Model) MicrosToCycles(us float64) int64 {
+	return int64(us * m.FreqGHz * 1000)
+}

@@ -1,0 +1,91 @@
+package model
+
+import "testing"
+
+func TestDefaultsPositive(t *testing.T) {
+	m := Default()
+	for name, v := range map[string]int64{
+		"InterruptDispatch": m.HW.InterruptDispatch,
+		"IPILatency":        m.HW.IPILatency,
+		"PredictedBranch":   m.HW.PredictedBranch,
+		"SyscallEntry":      m.Linux.SyscallEntry,
+		"SignalDeliver":     m.Linux.SignalDeliver,
+		"ThreadSwitch":      m.Nautilus.ThreadSwitch,
+		"FiberYield":        m.Nautilus.FiberYield,
+		"VMCreate":          m.Virtine.VMCreate,
+		"L1Hit":             m.Coherence.L1Hit,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s = %d", name, v)
+		}
+	}
+	if m.FreqGHz != 1.0 {
+		t.Fatalf("default freq = %v", m.FreqGHz)
+	}
+}
+
+func TestPaperCalibrations(t *testing.T) {
+	m := Default()
+	// §V-D: interrupt dispatch ≈ 1000 cycles.
+	if m.HW.InterruptDispatch != 1000 {
+		t.Fatalf("dispatch = %d", m.HW.InterruptDispatch)
+	}
+	// Pipeline delivery ≈ predicted branch: 100-1000x better.
+	ratio := float64(m.HW.InterruptDispatch) / float64(m.HW.PredictedBranch)
+	if ratio < 100 || ratio > 1000 {
+		t.Fatalf("dispatch/branch ratio = %v", ratio)
+	}
+}
+
+func TestKNLFig4Calibration(t *testing.T) {
+	m := KNL()
+	lxFP := m.HW.InterruptDispatch + m.HW.InterruptReturn + m.HW.GPRSaveRestore +
+		m.Linux.SchedulerPick + m.Linux.ContextSwitchExtra +
+		m.HW.FPStateSave + m.HW.FPStateRestore
+	if lxFP < 4900 || lxFP > 5100 {
+		t.Fatalf("Linux FP switch = %d, want ≈5000", lxFP)
+	}
+	nkFP := m.HW.InterruptDispatch + m.HW.InterruptReturn + m.HW.GPRSaveRestore +
+		m.Nautilus.ThreadSwitch + m.HW.FPStateSave + m.HW.FPStateRestore
+	if r := float64(lxFP) / float64(nkFP); r < 1.8 || r > 2.2 {
+		t.Fatalf("Nautilus thread should be about half of Linux: ratio %v", r)
+	}
+	fiberCT := m.Nautilus.TimingFrameworkFire + m.Nautilus.FiberYield + m.HW.GPRSaveRestore
+	if fiberCT >= 600 {
+		t.Fatalf("compiler-timed fiber switch = %d, paper says < 600", fiberCT)
+	}
+}
+
+func TestServerPlatform(t *testing.T) {
+	m := Server()
+	if m.FreqGHz != 3.3 {
+		t.Fatalf("server freq = %v", m.FreqGHz)
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	m := Default()
+	if m.CyclesToMicros(1000) != 1.0 {
+		t.Fatal("1000 cycles at 1GHz must be 1µs")
+	}
+	if m.MicrosToCycles(20) != 20_000 {
+		t.Fatal("20µs at 1GHz must be 20000 cycles")
+	}
+	knl := KNL()
+	if knl.MicrosToCycles(100) != 130_000 {
+		t.Fatalf("100µs at 1.3GHz = %d", knl.MicrosToCycles(100))
+	}
+}
+
+func TestVirtineColdBudget(t *testing.T) {
+	v := DefaultVirtine()
+	cold := v.VMCreate + v.Boot16 + v.BootProtected + v.BootLong + v.RuntimeShimInit
+	m := Default()
+	us := m.CyclesToMicros(cold)
+	if us < 80 || us > 120 {
+		t.Fatalf("cold virtine boot = %v µs, want ≈100", us)
+	}
+	if v.PoolHandoff >= v.SnapshotRestore || v.SnapshotRestore >= cold {
+		t.Fatal("start path ordering wrong")
+	}
+}

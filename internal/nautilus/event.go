@@ -1,0 +1,71 @@
+package nautilus
+
+// Event is the Nautilus fast event/wait-queue primitive ("primitives
+// such as thread management and event signaling are orders of magnitude
+// faster", §III). Two flavors:
+//
+//   - condition events (NewEvent): Wait always blocks until a later
+//     Signal/Broadcast;
+//   - latches (NewLatch): once set, all current and future waiters pass
+//     immediately (used for thread joins).
+type Event struct {
+	k       *Kernel
+	waiters []*Thread
+	latch   bool
+	set     bool
+
+	Signals int64
+	Wakeups int64
+}
+
+// NewEvent creates a condition-style event.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// NewLatch creates a latched event.
+func NewLatch(k *Kernel) *Event { return &Event{k: k, latch: true} }
+
+// Set reports whether a latch has been set.
+func (e *Event) Set() bool { return e.set }
+
+func (e *Event) addWaiter(t *Thread) {
+	e.waiters = append(e.waiters, t)
+}
+
+// wake readies up to n waiters (n < 0 wakes all) and returns the cycle
+// cost of the wake path. For latches it also sets the latch.
+func (e *Event) wake(n int) int64 {
+	e.Signals++
+	if e.latch {
+		e.set = true
+	}
+	var cost int64
+	woken := 0
+	for len(e.waiters) > 0 && (n < 0 || woken < n) {
+		t := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		woken++
+		e.Wakeups++
+		cost += e.k.Model.Nautilus.EventWakeup
+		cs := e.k.cpus[t.CPU]
+		t.state = stateReady
+		cs.enqueue(t)
+		// Remote CPU may be idle: let it pick the thread up.
+		if cs.idle {
+			c := cs
+			e.k.M.Eng.After(0, func() { c.maybeDispatch() })
+		}
+	}
+	return cost
+}
+
+// SignalFromIRQ wakes one waiter from interrupt context, charging the
+// wake cost to the running handler. This is the out-of-band event path
+// the heartbeat mechanism uses.
+func (e *Event) SignalFromIRQ(ctx interface{ AddCost(int64) }) {
+	ctx.AddCost(e.wake(1))
+}
+
+// BroadcastFromIRQ wakes all waiters from interrupt context.
+func (e *Event) BroadcastFromIRQ(ctx interface{ AddCost(int64) }) {
+	ctx.AddCost(e.wake(-1))
+}

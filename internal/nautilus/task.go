@@ -1,0 +1,141 @@
+package nautilus
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Task is a deferred unit of kernel work with a compiler-estimated size.
+// The CCK OpenMP path (§V-A) compiles OpenMP pragmas into these: "CCK
+// always targets a purely task-based execution model, which we map
+// directly to the task framework within Nautilus, which can be viewed as
+// a Linux-like SoftIRQ framework. Unlike SoftIRQs, however, if the
+// compiler can estimate task size, its tasks can be run in the scheduler
+// itself, even in interrupt context."
+type Task struct {
+	// Cycles is the compiler's size estimate (and the simulated cost).
+	Cycles int64
+	// Fn runs when the task executes (state mutation; cost is Cycles).
+	Fn func()
+}
+
+// TaskStats account per-queue execution.
+type TaskStats struct {
+	Queued     int64
+	RanDaemon  int64 // executed by the softirq daemon thread
+	RanIRQ     int64 // executed directly in interrupt context
+	WorkCycles int64
+}
+
+// taskQueue is the per-CPU task framework instance.
+type taskQueue struct {
+	k     *Kernel
+	cpu   int
+	tasks []*Task
+	ev    *Event
+	// daemon is the kthread that drains the queue outside IRQ context.
+	daemon *Thread
+	Stats  TaskStats
+}
+
+// InitTasks creates the per-CPU task framework and its daemon threads.
+// IRQBudget is the per-interrupt budget for inline execution: a task
+// whose estimate fits runs right in the handler.
+func (k *Kernel) InitTasks() {
+	if k.taskqs != nil {
+		return
+	}
+	k.taskqs = make([]*taskQueue, len(k.cpus))
+	for i := range k.cpus {
+		tq := &taskQueue{k: k, cpu: i}
+		tq.ev = NewEvent(k)
+		k.taskqs[i] = tq
+		tq.daemon = k.Spawn(i, ClassThread, ThreadOpts{}, func(tc *ThreadCtx) {
+			for {
+				t := tq.pop()
+				if t == nil {
+					tc.Wait(tq.ev)
+					continue
+				}
+				tc.Compute(t.Cycles)
+				tq.Stats.RanDaemon++
+				tq.Stats.WorkCycles += t.Cycles
+				if t.Fn != nil {
+					t.Fn()
+				}
+			}
+		})
+	}
+}
+
+func (tq *taskQueue) pop() *Task {
+	if len(tq.tasks) == 0 {
+		return nil
+	}
+	t := tq.tasks[0]
+	tq.tasks = tq.tasks[1:]
+	return t
+}
+
+// QueueTask enqueues a task on cpu's framework and wakes the daemon.
+// Call from engine/thread context (not from an interrupt handler —
+// handlers use QueueTaskFromIRQ).
+func (k *Kernel) QueueTask(cpu int, t *Task) {
+	tq := k.taskqs[cpu]
+	tq.tasks = append(tq.tasks, t)
+	tq.Stats.Queued++
+	tq.ev.wake(1)
+	cs := k.cpus[cpu]
+	if cs.idle {
+		k.M.Eng.After(0, func() { cs.maybeDispatch() })
+	}
+}
+
+// QueueTaskFromIRQ enqueues from interrupt context. If the task's
+// estimated size fits within irqBudget, it runs inline in the handler
+// (its cost charged to the interrupt) — the CCK trick that removes the
+// scheduling round trip entirely for small tasks.
+func (k *Kernel) QueueTaskFromIRQ(ctx *machine.IntrContext, cpu int, t *Task, irqBudget int64) {
+	tq := k.taskqs[cpu]
+	tq.Stats.Queued++
+	if t.Cycles <= irqBudget {
+		ctx.AddCost(t.Cycles)
+		tq.Stats.RanIRQ++
+		tq.Stats.WorkCycles += t.Cycles
+		if t.Fn != nil {
+			t.Fn()
+		}
+		return
+	}
+	tq.tasks = append(tq.tasks, t)
+	// Wake the daemon; the handler already runs on this CPU, so the
+	// daemon will be picked up after interrupt return.
+	ctx.AddCost(k.Model.Nautilus.EventWakeup)
+	tq.ev.wake(1)
+	ctx.RequestResched()
+}
+
+// TaskQueueStats returns cpu's task accounting.
+func (k *Kernel) TaskQueueStats(cpu int) *TaskStats { return &k.taskqs[cpu].Stats }
+
+// PendingTasks returns cpu's queued-but-unexecuted count.
+func (k *Kernel) PendingTasks(cpu int) int { return len(k.taskqs[cpu].tasks) }
+
+// RunUntilTasksDrain advances the simulation until every task queue is
+// empty (or the deadline passes); returns true if drained.
+func (k *Kernel) RunUntilTasksDrain(deadline sim.Time) bool {
+	for k.M.Eng.Now() < deadline {
+		drained := true
+		for i := range k.taskqs {
+			if len(k.taskqs[i].tasks) > 0 {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			return true
+		}
+		k.M.Eng.RunUntil(k.M.Eng.Now() + 10_000)
+	}
+	return false
+}

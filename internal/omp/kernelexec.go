@@ -1,0 +1,46 @@
+package omp
+
+import (
+	"repro/internal/nautilus"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// RunOnKernel executes a NAS-shaped kernel *for real* on a Nautilus
+// kernel instance: a persistent team of one worker thread per CPU,
+// statically scheduled loops, and a real barrier between regions — the
+// RTK execution model (§V-A) built from the kernel's own primitives
+// rather than the cost model. It returns the completion time in cycles.
+//
+// This exists to cross-validate the analytic Runtime: the two must agree
+// on the shape (serial work / N + per-region synchronization).
+func RunOnKernel(k *nautilus.Kernel, kern workloads.NASKernel) sim.Time {
+	n := len(k.M.CPUs)
+	bar := nautilus.NewBarrier(k, n)
+	regions := kern.Steps * kern.RegionsPerStep
+	chunk := kern.Items / int64(n)
+	rem := kern.Items % int64(n)
+
+	done := 0
+	start := k.M.Eng.Now()
+	for w := 0; w < n; w++ {
+		myItems := chunk
+		if int64(w) < rem {
+			myItems++
+		}
+		my := myItems
+		k.Spawn(w, nautilus.ClassThread, nautilus.ThreadOpts{FP: kern.FPHeavy},
+			func(tc *nautilus.ThreadCtx) {
+				for r := 0; r < regions; r++ {
+					tc.Compute(my * kern.CyclesPerItem)
+					tc.Arrive(bar)
+				}
+				done++
+			})
+	}
+	k.M.Eng.Run()
+	if done != n {
+		panic("omp: kernel execution did not complete")
+	}
+	return k.M.Eng.Now() - start
+}

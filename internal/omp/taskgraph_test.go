@@ -1,0 +1,135 @@
+package omp
+
+import "testing"
+
+func TestTaskGraphChainIsSerial(t *testing.T) {
+	rt := newRT(ModeRTK, 8)
+	var nodes []TaskNode
+	for i := 0; i < 10; i++ {
+		n := TaskNode{Cycles: 1000}
+		if i > 0 {
+			n.Deps = []int{i - 1}
+		}
+		nodes = append(nodes, n)
+	}
+	makespan, st := rt.RunTaskGraph(nodes)
+	perTask := rt.taskDispatchCost()
+	want := 10 * (1000 + perTask)
+	if makespan != want {
+		t.Fatalf("chain makespan = %d, want %d", makespan, want)
+	}
+	if st.CriticalCycles != 10_000 {
+		t.Fatalf("critical path = %d", st.CriticalCycles)
+	}
+}
+
+func TestTaskGraphIndependentTasksParallelize(t *testing.T) {
+	rt := newRT(ModeRTK, 8)
+	nodes := make([]TaskNode, 64)
+	for i := range nodes {
+		nodes[i] = TaskNode{Cycles: 1000}
+	}
+	makespan, _ := rt.RunTaskGraph(nodes)
+	perTask := rt.taskDispatchCost()
+	// 64 tasks on 8 workers: 8 rounds.
+	want := 8 * (1000 + perTask)
+	if makespan != want {
+		t.Fatalf("makespan = %d, want %d", makespan, want)
+	}
+}
+
+func TestTaskGraphDiamond(t *testing.T) {
+	rt := newRT(ModeRTK, 4)
+	nodes := []TaskNode{
+		{Cycles: 100},                    // 0: source
+		{Cycles: 500, Deps: []int{0}},    // 1
+		{Cycles: 700, Deps: []int{0}},    // 2
+		{Cycles: 100, Deps: []int{1, 2}}, // 3: sink
+	}
+	makespan, st := rt.RunTaskGraph(nodes)
+	perTask := rt.taskDispatchCost()
+	// Critical chain: 0 -> 2 -> 3.
+	want := (100 + perTask) + (700 + perTask) + (100 + perTask)
+	if makespan != want {
+		t.Fatalf("diamond makespan = %d, want %d", makespan, want)
+	}
+	if st.CriticalCycles != 900 {
+		t.Fatalf("critical = %d", st.CriticalCycles)
+	}
+}
+
+func TestTaskGraphCycleDetection(t *testing.T) {
+	rt := newRT(ModeRTK, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cyclic graph")
+		}
+	}()
+	rt.RunTaskGraph([]TaskNode{
+		{Cycles: 10, Deps: []int{1}},
+		{Cycles: 10, Deps: []int{0}},
+	})
+}
+
+func TestFibTaskGraphShape(t *testing.T) {
+	nodes := FibTaskGraph(10, 100, 20)
+	// fib call tree size: 2*fib(n+1)-1 nodes for leaves=fib-ish; just
+	// validate structure: exactly one node (the root) has no dependents.
+	dependents := make([]int, len(nodes))
+	for _, n := range nodes {
+		for _, d := range n.Deps {
+			dependents[d]++
+		}
+	}
+	roots := 0
+	for i := range nodes {
+		if dependents[i] == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("roots = %d", roots)
+	}
+}
+
+func TestFineGrainTasksNeedKernelDispatch(t *testing.T) {
+	// The granularity argument: with 100-cycle leaf tasks, Linux's
+	// per-task overhead swamps the work; the kernel paths keep the
+	// overhead fraction tolerable and finish sooner.
+	nodes := FibTaskGraph(14, 100, 30)
+	lx := newRT(ModeLinux, 16)
+	mkLx, stLx := lx.RunTaskGraph(nodes)
+	kk := newRT(ModeCCK, 16)
+	mkCCK, stCCK := kk.RunTaskGraph(nodes)
+	if mkCCK >= mkLx {
+		t.Fatalf("CCK %d >= Linux %d on fine-grain tasks", mkCCK, mkLx)
+	}
+	if stCCK.OverheadCycles >= stLx.OverheadCycles {
+		t.Fatal("CCK per-task overhead should be lower")
+	}
+	// With such tiny tasks Linux overhead exceeds the work itself.
+	work := int64(0)
+	for _, n := range nodes {
+		work += n.Cycles
+	}
+	if stLx.OverheadCycles < work {
+		t.Fatalf("linux overhead %d should exceed work %d at this granularity",
+			stLx.OverheadCycles, work)
+	}
+}
+
+func TestTaskGraphSpeedupWithWorkers(t *testing.T) {
+	nodes := FibTaskGraph(16, 400, 50)
+	t1, _ := newRT(ModeRTK, 1).RunTaskGraph(nodes)
+	t16, _ := newRT(ModeRTK, 16).RunTaskGraph(nodes)
+	if sp := float64(t1) / float64(t16); sp < 6 {
+		t.Fatalf("16-worker speedup = %.1f", sp)
+	}
+}
+
+func TestTaskGraphEmpty(t *testing.T) {
+	rt := newRT(ModeRTK, 2)
+	if mk, st := rt.RunTaskGraph(nil); mk != 0 || st.Tasks != 0 {
+		t.Fatal("empty graph")
+	}
+}

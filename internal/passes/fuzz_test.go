@@ -1,0 +1,217 @@
+package passes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/carat"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// genProgram builds a random but well-formed, terminating, memory-safe
+// IR program from a seed: power-of-two arrays indexed through masks,
+// bounded (possibly nested) loops, random arithmetic chains, and a
+// checksum return. It is the input source for differential testing of
+// every pass pipeline.
+func genProgram(seed uint64) *ir.Module {
+	rng := sim.NewRNG(seed)
+	m := ir.NewModule("fuzz")
+
+	// Small helper functions for the inliner to chew on.
+	nHelpers := rng.Intn(3)
+	for h := 0; h < nHelpers; h++ {
+		hf := m.NewFunction(helperName(h), 2)
+		hb := ir.NewBuilder(hf)
+		v := hb.Add(hb.Param(0), hb.Param(1))
+		switch rng.Intn(3) {
+		case 0:
+			v = hb.Mul(v, hb.Const(int64(rng.Intn(5)+1)))
+		case 1:
+			v = hb.Xor(v, hb.Const(int64(rng.Intn(100))))
+		case 2:
+			v = hb.Sub(v, hb.Param(0))
+		}
+		hb.Ret(v)
+	}
+
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+
+	// Arrays: 1-3, power-of-two lengths 64..512.
+	type arr struct {
+		base ir.Reg
+		mask int64
+	}
+	var arrays []arr
+	nArr := 1 + rng.Intn(3)
+	for i := 0; i < nArr; i++ {
+		n := int64(64 << rng.Intn(4))
+		base := b.Alloc(n * 8)
+		arrays = append(arrays, arr{base: base, mask: n - 1})
+	}
+	eight := b.Const(8)
+
+	// Value pool the generator draws operands from.
+	pool := []ir.Reg{b.Const(1), b.Const(3), b.Const(17)}
+	pick := func() ir.Reg { return pool[rng.Intn(len(pool))] }
+	push := func(r ir.Reg) {
+		pool = append(pool, r)
+		if len(pool) > 24 {
+			pool = pool[1:]
+		}
+	}
+
+	// index computes a safe element address of array a from value v.
+	index := func(a arr, v ir.Reg) ir.Reg {
+		idx := b.And(v, b.Const(a.mask))
+		return b.Add(a.base, b.Mul(idx, eight))
+	}
+
+	var emitOps func(depth, count int)
+	emitOps = func(depth, count int) {
+		for i := 0; i < count; i++ {
+			if nHelpers > 0 && rng.Intn(10) == 0 {
+				push(b.Call(helperName(rng.Intn(nHelpers)), pick(), pick()))
+				continue
+			}
+			switch rng.Intn(8) {
+			case 0:
+				push(b.Add(pick(), pick()))
+			case 1:
+				push(b.Sub(pick(), pick()))
+			case 2:
+				push(b.Mul(pick(), pick()))
+			case 3:
+				push(b.Xor(pick(), pick()))
+			case 4: // division by a non-zero constant
+				push(b.Div(pick(), b.Const(int64(rng.Intn(7)+1))))
+			case 5: // store
+				a := arrays[rng.Intn(len(arrays))]
+				b.Store(index(a, pick()), 0, pick())
+			case 6: // load
+				a := arrays[rng.Intn(len(arrays))]
+				push(b.Load(index(a, pick()), 0))
+			case 7: // bounded loop (max nesting 2)
+				if depth >= 2 {
+					push(b.ICmp(ir.PredLT, pick(), pick()))
+					continue
+				}
+				iters := int64(4 + rng.Intn(30))
+				inner := 1 + rng.Intn(4)
+				b.CountingLoop(0, iters, 1, func(iv ir.Reg) {
+					push(iv)
+					emitOps(depth+1, inner)
+				})
+			}
+		}
+	}
+	emitOps(0, 10+rng.Intn(15))
+
+	// Checksum: fold the pool and one array.
+	sum := b.Const(0)
+	for _, r := range pool {
+		sum = b.Add(sum, r)
+	}
+	a := arrays[0]
+	b.CountingLoop(0, a.mask+1, 1, func(iv ir.Reg) {
+		addr := b.Add(a.base, b.Mul(iv, eight))
+		sum2 := b.Add(sum, b.Load(addr, 0))
+		b.MovTo(sum, sum2)
+	})
+	for _, a := range arrays {
+		b.Free(a.base)
+	}
+	b.Ret(sum)
+	return m
+}
+
+// runFuzz executes a module with the full CARAT runtime attached and
+// returns the checksum; any violation or error fails the test.
+func runFuzz(t *testing.T, m *ir.Module) uint64 {
+	t.Helper()
+	ip, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := carat.NewTable()
+	ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+	ip.Hooks.GuardRegion = tb.GuardRegion
+	ip.Hooks.TrackAlloc = tb.TrackAlloc
+	ip.Hooks.TrackFree = tb.TrackFree
+	ip.Hooks.TrackEsc = tb.TrackEscape
+	ip.Hooks.YieldCheck = func(int64) int64 { return 6 }
+	ip.Hooks.Poll = func() int64 { return 3 }
+	got, err := ip.Call("main")
+	if err != nil {
+		t.Fatalf("execution failed: %v\n%s", err, ir.Format(m.Funcs["main"]))
+	}
+	if tb.Violations != 0 {
+		t.Fatalf("%d protection violations on in-bounds program", tb.Violations)
+	}
+	return got
+}
+
+// TestDifferentialPassPipelines: for random programs, every pass
+// pipeline must preserve the checksum exactly.
+func TestDifferentialPassPipelines(t *testing.T) {
+	pipelines := []struct {
+		name string
+		mk   func() []Pass
+	}{
+		{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
+		{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+		{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
+		{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
+		{"everything", func() []Pass {
+			return []Pass{
+				&ConstFold{}, &DCE{}, &CARATInject{}, &CARATHoist{},
+				&TimingInject{TargetCycles: 700, ChunkLoops: true},
+			}
+		}},
+	}
+	check := func(seed uint64) bool {
+		want := runFuzz(t, genProgram(seed))
+		// Inline pipeline needs the module handle, so it is built here.
+		{
+			m := genProgram(seed)
+			if err := RunAll(m, &Inline{Mod: m}, &ConstFold{}, &DCE{}); err != nil {
+				t.Fatalf("seed %d inline pipeline: %v", seed, err)
+			}
+			if got := runFuzz(t, m); got != want {
+				t.Fatalf("seed %d inline pipeline: checksum %d != %d", seed, got, want)
+			}
+		}
+		for _, p := range pipelines {
+			m := genProgram(seed)
+			if err := RunAll(m, p.mk()...); err != nil {
+				t.Fatalf("seed %d pipeline %s: %v", seed, p.name, err)
+			}
+			if got := runFuzz(t, m); got != want {
+				t.Fatalf("seed %d pipeline %s: checksum %d != %d",
+					seed, p.name, got, want)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func helperName(i int) string {
+	return string(rune('a'+i)) + "_helper"
+}
+
+// TestFuzzProgramsAreValid: the generator only produces Verify-valid
+// modules.
+func TestFuzzProgramsAreValid(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		m := genProgram(seed)
+		if err := ir.VerifyModule(m, nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

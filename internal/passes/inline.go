@@ -1,0 +1,179 @@
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// Inline replaces calls to small, non-recursive functions with the
+// callee's body — the classic enabler for the other interweaving passes
+// ("blend the code of the application and the code of Nautilus at a low
+// level, including below the level of individual functions", Fig. 1).
+//
+// A call is inlined when the callee is defined in the module, does not
+// (transitively) call the caller or itself, and its instruction count is
+// at most MaxCalleeInstrs.
+type Inline struct {
+	// MaxCalleeInstrs bounds the callee size (default 40).
+	MaxCalleeInstrs int
+	// MaxRounds bounds repeated inlining (default 4).
+	MaxRounds int
+	// Mod must be set: inlining needs callee bodies.
+	Mod *ir.Module
+
+	Inlined int
+}
+
+// Name implements Pass.
+func (p *Inline) Name() string { return "inline" }
+
+// Run implements Pass.
+func (p *Inline) Run(f *ir.Function) error {
+	if p.Mod == nil {
+		return nil
+	}
+	maxSize := p.MaxCalleeInstrs
+	if maxSize == 0 {
+		maxSize = 40
+	}
+	rounds := p.MaxRounds
+	if rounds == 0 {
+		rounds = 4
+	}
+	for r := 0; r < rounds; r++ {
+		if !p.inlineOnce(f, maxSize) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// reachable reports whether, in the module call graph, a call chain
+// starting from `from`'s call sites can reach `to` (so from == to only
+// counts when from actually calls itself, directly or transitively).
+func (p *Inline) reachable(from, to string) bool {
+	seen := map[string]bool{}
+	var walk func(name string) bool
+	walk = func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		fn, ok := p.Mod.Funcs[name]
+		if !ok {
+			return false
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if in.Callee == to || walk(in.Callee) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// inlineOnce inlines at most one call site; returns true if it did.
+func (p *Inline) inlineOnce(f *ir.Function, maxSize int) bool {
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee, ok := p.Mod.Funcs[in.Callee]
+			if !ok || callee == f || callee.InstrCount() > maxSize {
+				continue
+			}
+			// Refuse recursion: callee must not reach the caller or
+			// itself.
+			if p.reachable(callee.Name, f.Name) || p.reachable(callee.Name, callee.Name) {
+				continue
+			}
+			p.doInline(f, bi, ii, in, callee)
+			p.Inlined++
+			return true
+		}
+	}
+	return false
+}
+
+// doInline splices callee's body in place of the call instruction at
+// f.Blocks[bi].Instrs[ii].
+func (p *Inline) doInline(f *ir.Function, bi, ii int, call *ir.Instr, callee *ir.Function) {
+	base := ir.Reg(f.NumRegs)
+	f.NumRegs += callee.NumRegs
+	remap := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		return r + base
+	}
+
+	// Continuation block: everything after the call.
+	caller := f.Blocks[bi]
+	cont := f.NewBlock(caller.Name + ".inl.cont")
+	cont.Instrs = append(cont.Instrs, caller.Instrs[ii+1:]...)
+
+	// Clone callee blocks.
+	clones := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		clones[cb] = f.NewBlock(callee.Name + ".inl." + cb.Name)
+	}
+	for _, cb := range callee.Blocks {
+		nb := clones[cb]
+		for _, cin := range cb.Instrs {
+			ci := *cin // copy
+			ci.Dst = remap(ci.Dst)
+			ci.A = remap(ci.A)
+			ci.B = remap(ci.B)
+			if len(ci.Args) > 0 {
+				args := make([]ir.Reg, len(ci.Args))
+				for i, a := range ci.Args {
+					args[i] = remap(a)
+				}
+				ci.Args = args
+			}
+			if ci.Target != nil {
+				ci.Target = clones[ci.Target]
+			}
+			if ci.Else != nil {
+				ci.Else = clones[ci.Else]
+			}
+			if ci.Op == ir.OpRet {
+				// Return becomes: dst = retval; jmp cont.
+				if call.Dst != ir.NoReg {
+					if ci.A != ir.NoReg {
+						nb.Instrs = append(nb.Instrs, &ir.Instr{
+							Op: ir.OpMov, Dst: call.Dst, A: ci.A, B: ir.NoReg,
+						})
+					} else {
+						nb.Instrs = append(nb.Instrs, &ir.Instr{
+							Op: ir.OpConst, Dst: call.Dst, A: ir.NoReg, B: ir.NoReg, Imm: 0,
+						})
+					}
+				}
+				nb.Instrs = append(nb.Instrs, &ir.Instr{
+					Op: ir.OpJmp, A: ir.NoReg, B: ir.NoReg, Target: cont,
+				})
+				continue
+			}
+			nb.Instrs = append(nb.Instrs, &ci)
+		}
+	}
+
+	// Caller block: keep the prefix, marshal arguments, jump to entry.
+	prefix := caller.Instrs[:ii]
+	caller.Instrs = append([]*ir.Instr(nil), prefix...)
+	for i, arg := range call.Args {
+		caller.Instrs = append(caller.Instrs, &ir.Instr{
+			Op: ir.OpMov, Dst: base + ir.Reg(i), A: arg, B: ir.NoReg,
+		})
+	}
+	caller.Instrs = append(caller.Instrs, &ir.Instr{
+		Op: ir.OpJmp, A: ir.NoReg, B: ir.NoReg, Target: clones[callee.Entry()],
+	})
+}

@@ -1,0 +1,154 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// callerCalleeModule: square(x) = x*x; main() = square(6) + square(7).
+func callerCalleeModule() *ir.Module {
+	m := ir.NewModule("t")
+	sq := m.NewFunction("square", 1)
+	sb := ir.NewBuilder(sq)
+	x := sb.Param(0)
+	sb.Ret(sb.Mul(x, x))
+
+	main := m.NewFunction("main", 0)
+	b := ir.NewBuilder(main)
+	a := b.Call("square", b.Const(6))
+	c := b.Call("square", b.Const(7))
+	b.Ret(b.Add(a, c))
+	return m
+}
+
+func TestInlineReplacesCalls(t *testing.T) {
+	m := callerCalleeModule()
+	inl := &Inline{Mod: m}
+	if err := RunAll(m, inl); err != nil {
+		t.Fatal(err)
+	}
+	if inl.Inlined != 2 {
+		t.Fatalf("inlined = %d, want 2", inl.Inlined)
+	}
+	if m.Funcs["main"].CountOp(ir.OpCall) != 0 {
+		t.Fatal("calls remain in main")
+	}
+	ip, _ := interp.New(m)
+	got, err := ip.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 36+49 {
+		t.Fatalf("got %d, want 85", got)
+	}
+	if ip.Stats.Calls != 0 {
+		t.Fatalf("dynamic calls = %d after inlining", ip.Stats.Calls)
+	}
+}
+
+func TestInlineRefusesRecursion(t *testing.T) {
+	m := ir.NewModule("t")
+	fib := m.NewFunction("fib", 1)
+	b := ir.NewBuilder(fib)
+	n := b.Param(0)
+	two := b.Const(2)
+	base := b.Block("base")
+	rec := b.Block("rec")
+	b.Br(b.ICmp(ir.PredLT, n, two), base, rec)
+	b.SetBlock(base)
+	b.Ret(n)
+	b.SetBlock(rec)
+	one := b.Const(1)
+	x := b.Call("fib", b.Sub(n, one))
+	y := b.Call("fib", b.Sub(n, two))
+	b.Ret(b.Add(x, y))
+
+	inl := &Inline{Mod: m}
+	if err := RunAll(m, inl); err != nil {
+		t.Fatal(err)
+	}
+	if inl.Inlined != 0 {
+		t.Fatal("recursive function was inlined")
+	}
+	ip, _ := interp.New(m)
+	if got, _ := ip.Call("fib", 10); got != 55 {
+		t.Fatalf("fib(10) = %d", got)
+	}
+}
+
+func TestInlineRespectsSizeBound(t *testing.T) {
+	m := callerCalleeModule()
+	inl := &Inline{Mod: m, MaxCalleeInstrs: 1} // square has 2+ instrs
+	if err := RunAll(m, inl); err != nil {
+		t.Fatal(err)
+	}
+	if inl.Inlined != 0 {
+		t.Fatal("oversized callee inlined")
+	}
+}
+
+func TestInlineTransitive(t *testing.T) {
+	// main -> f -> g: repeated rounds flatten the whole chain.
+	m := ir.NewModule("t")
+	g := m.NewFunction("g", 1)
+	gb := ir.NewBuilder(g)
+	gb.Ret(gb.Add(gb.Param(0), gb.Const(10)))
+	f := m.NewFunction("f", 1)
+	fb := ir.NewBuilder(f)
+	fb.Ret(fb.Call("g", fb.Mul(fb.Param(0), fb.Const(2))))
+	main := m.NewFunction("main", 0)
+	b := ir.NewBuilder(main)
+	b.Ret(b.Call("f", b.Const(5)))
+
+	inl := &Inline{Mod: m}
+	if err := RunAll(m, inl); err != nil {
+		t.Fatal(err)
+	}
+	if m.Funcs["main"].CountOp(ir.OpCall) != 0 {
+		t.Fatal("chain not fully inlined in main")
+	}
+	ip, _ := interp.New(m)
+	if got, _ := ip.Call("main"); got != 20 {
+		t.Fatalf("got %d, want 20", got)
+	}
+}
+
+func TestInlineVoidCallee(t *testing.T) {
+	m := ir.NewModule("t")
+	sink := m.NewFunction("sink", 1)
+	sb := ir.NewBuilder(sink)
+	buf := sb.Alloc(8)
+	sb.Store(buf, 0, sb.Param(0))
+	sb.Free(buf)
+	sb.Ret(ir.NoReg)
+	main := m.NewFunction("main", 0)
+	b := ir.NewBuilder(main)
+	b.Call("sink", b.Const(9))
+	b.Ret(b.Const(1))
+
+	inl := &Inline{Mod: m}
+	if err := RunAll(m, inl); err != nil {
+		t.Fatal(err)
+	}
+	if inl.Inlined != 1 {
+		t.Fatal("void callee not inlined")
+	}
+	ip, _ := interp.New(m)
+	if got, err := ip.Call("main"); err != nil || got != 1 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestInlineComposesWithCARAT(t *testing.T) {
+	m := callerCalleeModule()
+	if err := RunAll(m, &Inline{Mod: m}, &ConstFold{}, &DCE{},
+		&CARATInject{}, &CARATHoist{}); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m)
+	if got, err := ip.Call("main"); err != nil || got != 85 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}

@@ -1,0 +1,180 @@
+package passes
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// ConstFold performs block-local constant folding: within each basic
+// block, registers whose most recent definition is a constant are
+// propagated into arithmetic, comparisons, and moves, which then become
+// constants themselves. (Block-local is sound without SSA: a register's
+// constness holds from its definition to its next redefinition.)
+type ConstFold struct {
+	Folded int
+}
+
+// Name implements Pass.
+func (c *ConstFold) Name() string { return "const-fold" }
+
+// Run implements Pass.
+func (c *ConstFold) Run(f *ir.Function) error {
+	for _, b := range f.Blocks {
+		known := make(map[ir.Reg]uint64)
+		for _, in := range b.Instrs {
+			c.foldInstr(in, known)
+			// Update constness after the instruction executes.
+			switch in.Op {
+			case ir.OpConst:
+				known[in.Dst] = uint64(in.Imm)
+			case ir.OpFConst:
+				known[in.Dst] = math.Float64bits(in.FImm)
+			default:
+				if d := in.Defs(); d != ir.NoReg {
+					delete(known, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// foldInstr rewrites in to a constant if its operands are known.
+func (c *ConstFold) foldInstr(in *ir.Instr, known map[ir.Reg]uint64) {
+	k := func(r ir.Reg) (uint64, bool) {
+		v, ok := known[r]
+		return v, ok
+	}
+	setConst := func(v uint64) {
+		in.Op = ir.OpConst
+		in.Imm = int64(v)
+		in.A, in.B = ir.NoReg, ir.NoReg
+		c.Folded++
+	}
+	switch in.Op {
+	case ir.OpMov:
+		if v, ok := k(in.A); ok {
+			setConst(v)
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		a, okA := k(in.A)
+		b, okB := k(in.B)
+		if !okA || !okB {
+			return
+		}
+		var v uint64
+		switch in.Op {
+		case ir.OpAdd:
+			v = uint64(int64(a) + int64(b))
+		case ir.OpSub:
+			v = uint64(int64(a) - int64(b))
+		case ir.OpMul:
+			v = uint64(int64(a) * int64(b))
+		case ir.OpAnd:
+			v = a & b
+		case ir.OpOr:
+			v = a | b
+		case ir.OpXor:
+			v = a ^ b
+		case ir.OpShl:
+			v = a << (b & 63)
+		case ir.OpShr:
+			v = a >> (b & 63)
+		}
+		setConst(v)
+	case ir.OpDiv, ir.OpRem:
+		a, okA := k(in.A)
+		b, okB := k(in.B)
+		if !okA || !okB || int64(b) == 0 {
+			return // preserve the runtime division-by-zero fault
+		}
+		if in.Op == ir.OpDiv {
+			setConst(uint64(int64(a) / int64(b)))
+		} else {
+			setConst(uint64(int64(a) % int64(b)))
+		}
+	case ir.OpICmp:
+		a, okA := k(in.A)
+		b, okB := k(in.B)
+		if !okA || !okB {
+			return
+		}
+		var r bool
+		ai, bi := int64(a), int64(b)
+		switch in.Pred {
+		case ir.PredEQ:
+			r = ai == bi
+		case ir.PredNE:
+			r = ai != bi
+		case ir.PredLT:
+			r = ai < bi
+		case ir.PredLE:
+			r = ai <= bi
+		case ir.PredGT:
+			r = ai > bi
+		case ir.PredGE:
+			r = ai >= bi
+		}
+		if r {
+			setConst(1)
+		} else {
+			setConst(0)
+		}
+	}
+}
+
+// DCE removes pure instructions whose results are never used anywhere in
+// the function, iterating to a fixpoint. Memory operations, calls,
+// intrinsics, and terminators are never removed.
+type DCE struct {
+	Removed int
+}
+
+// Name implements Pass.
+func (d *DCE) Name() string { return "dce" }
+
+// pure reports whether the instruction has no side effects.
+func pure(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpFConst, ir.OpMov, ir.OpAdd, ir.OpSub, ir.OpMul,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpICmp, ir.OpFCmp:
+		return true
+	}
+	// Div/Rem can fault (divide by zero); loads are kept because CARAT
+	// instrumentation may observe them.
+	return false
+}
+
+// Run implements Pass.
+func (d *DCE) Run(f *ir.Function) error {
+	for {
+		used := make(map[ir.Reg]bool)
+		var buf []ir.Reg
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				buf = in.Uses(buf[:0])
+				for _, r := range buf {
+					used[r] = true
+				}
+			}
+		}
+		removed := 0
+		for _, b := range f.Blocks {
+			var out []*ir.Instr
+			for _, in := range b.Instrs {
+				if pure(in.Op) && in.Dst != ir.NoReg && !used[in.Dst] {
+					removed++
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		d.Removed += removed
+		if removed == 0 {
+			return nil
+		}
+	}
+}

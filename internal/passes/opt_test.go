@@ -1,0 +1,145 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestConstFoldArithmetic(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	x := b.Const(6)
+	y := b.Const(7)
+	z := b.Mul(x, y)          // foldable -> 42
+	w := b.Add(z, b.Const(0)) // foldable -> 42
+	b.Ret(w)
+	cf := &ConstFold{}
+	if err := RunAll(m, cf); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Folded < 2 {
+		t.Fatalf("folded = %d", cf.Folded)
+	}
+	ip, _ := interp.New(m)
+	got, err := ip.Call("f")
+	if err != nil || got != 42 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestConstFoldPreservesDivByZeroFault(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	b.Ret(b.Div(b.Const(5), b.Const(0)))
+	if err := RunAll(m, &ConstFold{}); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m)
+	if _, err := ip.Call("f"); err == nil {
+		t.Fatal("fold must not hide the division fault")
+	}
+}
+
+func TestConstFoldStopsAtRedefinition(t *testing.T) {
+	// v = 5; v = param-derived; w = v+1 must NOT fold to 6.
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	v := b.Const(5)
+	b.MovTo(v, b.Param(0)) // v now unknown
+	one := b.Const(1)
+	b.Ret(b.Add(v, one))
+	if err := RunAll(m, &ConstFold{}); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m)
+	got, _ := ip.Call("f", 100)
+	if got != 101 {
+		t.Fatalf("got %d; fold used stale constant", got)
+	}
+}
+
+func TestConstFoldICmp(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	c := b.ICmp(ir.PredLT, b.Const(3), b.Const(9))
+	b.Ret(c)
+	cf := &ConstFold{}
+	if err := RunAll(m, cf); err != nil {
+		t.Fatal(err)
+	}
+	if f.CountOp(ir.OpICmp) != 0 {
+		t.Fatal("icmp not folded")
+	}
+	ip, _ := interp.New(m)
+	if got, _ := ip.Call("f"); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestDCERemovesDeadCode(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	live := b.Const(1)
+	dead1 := b.Const(99)
+	dead2 := b.Add(dead1, dead1) // chain: removing dead2 kills dead1 too
+	_ = dead2
+	b.Ret(live)
+	before := f.InstrCount()
+	d := &DCE{}
+	if err := RunAll(m, d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Removed != 2 {
+		t.Fatalf("removed = %d, want 2 (transitive)", d.Removed)
+	}
+	if f.InstrCount() != before-2 {
+		t.Fatal("instruction count wrong")
+	}
+	ip, _ := interp.New(m)
+	if got, _ := ip.Call("f"); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(8) // result used by store
+	v := b.Const(7)
+	b.Store(buf, 0, v)
+	dead := b.Load(buf, 0) // load result unused, but loads are kept
+	_ = dead
+	b.Ret(ir.NoReg)
+	d := &DCE{}
+	if err := RunAll(m, d); err != nil {
+		t.Fatal(err)
+	}
+	if f.CountOp(ir.OpStore) != 1 || f.CountOp(ir.OpAlloc) != 1 || f.CountOp(ir.OpLoad) != 1 {
+		t.Fatal("side-effecting ops removed")
+	}
+}
+
+func TestOptimizePipelinePreservesKernelSemantics(t *testing.T) {
+	// Full pipeline over the walk kernel: fold + DCE + CARAT + timing,
+	// identical result.
+	m := arrayWalk()
+	if err := RunAll(m, &ConstFold{}, &DCE{}, &CARATInject{}, &CARATHoist{},
+		&TimingInject{TargetCycles: 2000, ChunkLoops: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, tb := runWalk(t, m)
+	if got != walkWant {
+		t.Fatalf("got %d, want %d", got, walkWant)
+	}
+	if tb.Violations != 0 {
+		t.Fatal("violations")
+	}
+}

@@ -1,0 +1,485 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/carat"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// arrayWalk builds: func walk(n) { a = alloc(8n); for i<n {a[i]=i};
+// s=0; for i<n {s+=a[i]}; free a; ret s }
+func arrayWalk() *ir.Module {
+	m := ir.NewModule("t")
+	f := m.NewFunction("walk", 1)
+	b := ir.NewBuilder(f)
+	n := b.Param(0)
+	eight := b.Const(8)
+	bytes := b.Mul(n, eight)
+	arr := b.AllocReg(bytes)
+
+	s := b.Const(0)
+	b.CountingLoop(0, 64, 1, func(i ir.Reg) {
+		off := b.Mul(i, eight)
+		addr := b.Add(arr, off)
+		b.Store(addr, 0, i)
+	})
+	b.CountingLoop(0, 64, 1, func(i ir.Reg) {
+		off := b.Mul(i, eight)
+		addr := b.Add(arr, off)
+		v := b.Load(addr, 0)
+		b.MovTo(s, b.Add(s, v))
+	})
+	b.Free(arr)
+	b.Ret(s)
+	return m
+}
+
+func runWalk(t *testing.T, m *ir.Module) (uint64, *interp.Interp, *carat.Table) {
+	t.Helper()
+	ip, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := carat.NewTable()
+	ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+	ip.Hooks.GuardRegion = tb.GuardRegion
+	ip.Hooks.TrackAlloc = tb.TrackAlloc
+	ip.Hooks.TrackFree = tb.TrackFree
+	ip.Hooks.TrackEsc = tb.TrackEscape
+	got, err := ip.Call("walk", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, ip, tb
+}
+
+const walkWant = 64 * 63 / 2
+
+func TestInjectPreservesSemantics(t *testing.T) {
+	m := arrayWalk()
+	inj := &CARATInject{}
+	if err := RunAll(m, inj); err != nil {
+		t.Fatal(err)
+	}
+	got, ip, tb := runWalk(t, m)
+	if got != walkWant {
+		t.Fatalf("walk = %d, want %d", got, walkWant)
+	}
+	// One guard per executed load/store.
+	if ip.Stats.Guards != ip.Stats.Loads+ip.Stats.Stores {
+		t.Fatalf("guards = %d, loads+stores = %d", ip.Stats.Guards, ip.Stats.Loads+ip.Stats.Stores)
+	}
+	if tb.Violations != 0 {
+		t.Fatalf("spurious violations: %d", tb.Violations)
+	}
+	if inj.GuardsInserted != 2 { // one load site, one store site
+		t.Fatalf("static guards = %d", inj.GuardsInserted)
+	}
+}
+
+func TestInjectTracksAllocFree(t *testing.T) {
+	m := arrayWalk()
+	if err := RunAll(m, &CARATInject{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tb := runWalk(t, m)
+	if tb.Tracked != 1 {
+		t.Fatalf("tracked allocs = %d", tb.Tracked)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("region not removed after free")
+	}
+}
+
+func TestHoistReplacesPerIterationGuards(t *testing.T) {
+	m := arrayWalk()
+	inj := &CARATInject{}
+	hoist := &CARATHoist{}
+	if err := RunAll(m, inj, hoist); err != nil {
+		t.Fatal(err)
+	}
+	got, ip, tb := runWalk(t, m)
+	if got != walkWant {
+		t.Fatalf("walk = %d, want %d", got, walkWant)
+	}
+	if hoist.HoistedRegion != 2 {
+		t.Fatalf("hoisted region guards = %d, want 2 (one per loop)", hoist.HoistedRegion)
+	}
+	// Dynamic guards collapse from 128 (one per access) to 2 (one per
+	// loop entry).
+	if ip.Stats.Guards > 4 {
+		t.Fatalf("dynamic guards = %d after hoisting", ip.Stats.Guards)
+	}
+	if tb.Violations != 0 {
+		t.Fatalf("violations = %d", tb.Violations)
+	}
+	if tb.RegionGuards == 0 {
+		t.Fatal("region guard never executed")
+	}
+}
+
+func TestHoistCutsOverhead(t *testing.T) {
+	// The §IV-A claim in miniature: hoisting must massively reduce
+	// guard cycles versus naive injection.
+	naive := arrayWalk()
+	if err := RunAll(naive, &CARATInject{}); err != nil {
+		t.Fatal(err)
+	}
+	_, ipNaive, _ := runWalk(t, naive)
+
+	hoisted := arrayWalk()
+	if err := RunAll(hoisted, &CARATInject{}, &CARATHoist{}); err != nil {
+		t.Fatal(err)
+	}
+	_, ipHoist, _ := runWalk(t, hoisted)
+
+	if ipHoist.Stats.GuardCycles*10 > ipNaive.Stats.GuardCycles {
+		t.Fatalf("hoisting saved too little: naive=%d hoisted=%d",
+			ipNaive.Stats.GuardCycles, ipHoist.Stats.GuardCycles)
+	}
+}
+
+func TestHoistInvariantAddress(t *testing.T) {
+	// A loop that repeatedly stores to a fixed address: the guard's
+	// register is loop-invariant, so rule 2 hoists it directly.
+	m := ir.NewModule("t")
+	f := m.NewFunction("walk", 1)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(8)
+	b.CountingLoop(0, 50, 1, func(i ir.Reg) {
+		b.Store(buf, 0, i)
+	})
+	v := b.Load(buf, 0)
+	b.Free(buf)
+	b.Ret(v)
+
+	inj := &CARATInject{}
+	hoist := &CARATHoist{}
+	if err := RunAll(m, inj, hoist); err != nil {
+		t.Fatal(err)
+	}
+	if hoist.HoistedInvariant != 1 {
+		t.Fatalf("invariant hoists = %d, want 1", hoist.HoistedInvariant)
+	}
+	got, ip, tb := runWalk(t, m)
+	if got != 49 {
+		t.Fatalf("result = %d", got)
+	}
+	// 1 hoisted guard + 1 guard for the post-loop load.
+	if ip.Stats.Guards != 2 {
+		t.Fatalf("dynamic guards = %d", ip.Stats.Guards)
+	}
+	if tb.Violations != 0 {
+		t.Fatal("violations")
+	}
+}
+
+func TestDedupeWithinBlock(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("walk", 1)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(16)
+	v1 := b.Load(buf, 0)
+	v2 := b.Load(buf, 0) // same address: second guard redundant
+	b.Ret(b.Add(v1, v2))
+
+	inj := &CARATInject{}
+	hoist := &CARATHoist{}
+	if err := RunAll(m, inj, hoist); err != nil {
+		t.Fatal(err)
+	}
+	if hoist.DedupedInBlock != 1 {
+		t.Fatalf("deduped = %d, want 1", hoist.DedupedInBlock)
+	}
+	if f.CountOp(ir.OpGuard) != 1 {
+		t.Fatalf("remaining guards = %d", f.CountOp(ir.OpGuard))
+	}
+}
+
+func TestDedupeInvalidatedByRedefinition(t *testing.T) {
+	// If the address register is redefined between two identical-looking
+	// guards, the second must survive.
+	m := ir.NewModule("t")
+	f := m.NewFunction("walk", 1)
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(16)
+	v1 := b.Load(buf, 0)
+	b.MovTo(buf, b.Add(buf, b.Const(8))) // buf now points elsewhere
+	v2 := b.Load(buf, 0)
+	b.Ret(b.Add(v1, v2))
+
+	if err := RunAll(m, &CARATInject{}, &CARATHoist{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.CountOp(ir.OpGuard) != 2 {
+		t.Fatalf("guards = %d, want 2 (redefinition blocks dedupe)", f.CountOp(ir.OpGuard))
+	}
+}
+
+func TestEscapeTrackingDetectsStoredPointers(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("walk", 1)
+	b := ir.NewBuilder(f)
+	a1 := b.Alloc(16)
+	a2 := b.Alloc(16)
+	b.Store(a1, 0, a2) // store pointer a2 into a1
+	x := b.Const(5)
+	b.Store(a1, 8, x) // store plain int (but may-pointer analysis is conservative)
+	b.Ret(ir.NoReg)
+
+	inj := &CARATInject{}
+	if err := RunAll(m, inj); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tb := runWalk(t, m)
+	// The runtime filters: only the value that actually points into a
+	// tracked region becomes an escape.
+	if tb.Escapes() != 1 {
+		t.Fatalf("escapes = %d, want 1", tb.Escapes())
+	}
+}
+
+func TestSkipGuardsMode(t *testing.T) {
+	m := arrayWalk()
+	inj := &CARATInject{SkipGuards: true}
+	if err := RunAll(m, inj); err != nil {
+		t.Fatal(err)
+	}
+	if inj.GuardsInserted != 0 {
+		t.Fatal("guards inserted despite SkipGuards")
+	}
+	f := m.Funcs["walk"]
+	if f.CountOp(ir.OpGuard) != 0 {
+		t.Fatal("guard ops present")
+	}
+	if f.CountOp(ir.OpTrackAlloc) != 1 {
+		t.Fatal("tracking missing")
+	}
+}
+
+func TestTimingInjectPlacement(t *testing.T) {
+	m := arrayWalk()
+	ti := &TimingInject{TargetCycles: 1000}
+	if err := RunAll(m, ti); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs["walk"]
+	n := f.CountOp(ir.OpYieldCheck)
+	// Entry + 2 loop latches = at least 3.
+	if n < 3 {
+		t.Fatalf("yield checks = %d, want >= 3", n)
+	}
+	if ti.Inserted != n {
+		t.Fatal("inserted count mismatch")
+	}
+	// Entry block starts with a check.
+	if f.Entry().Instrs[0].Op != ir.OpYieldCheck {
+		t.Fatal("no entry check")
+	}
+}
+
+func TestTimingChecksFireEveryIteration(t *testing.T) {
+	m := arrayWalk()
+	if err := RunAll(m, &TimingInject{TargetCycles: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m)
+	checks := 0
+	ip.Hooks.YieldCheck = func(elapsed int64) int64 { checks++; return 6 }
+	if _, err := ip.Call("walk", 64); err != nil {
+		t.Fatal(err)
+	}
+	// 64 iterations x 2 loops + entry = 129.
+	if checks != 129 {
+		t.Fatalf("dynamic checks = %d, want 129", checks)
+	}
+}
+
+func TestTimingSplitsLongBlocks(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("long", 0)
+	b := ir.NewBuilder(f)
+	acc := b.Const(0)
+	for i := 0; i < 500; i++ {
+		b.MovTo(acc, b.Add(acc, acc))
+	}
+	b.Ret(acc)
+	ti := &TimingInject{TargetCycles: 100}
+	if err := RunAll(m, ti); err != nil {
+		t.Fatal(err)
+	}
+	// ~1000 ALU-cycles of straight-line code at 100-cycle target needs
+	// roughly 10 checks (plus the entry check).
+	n := f.CountOp(ir.OpYieldCheck)
+	if n < 8 || n > 16 {
+		t.Fatalf("checks in long block = %d, want ~10", n)
+	}
+}
+
+func TestTimingMaxGapBound(t *testing.T) {
+	// Dynamic property: gaps between consecutive check firings must be
+	// bounded by target + max straight-line stretch.
+	m := arrayWalk()
+	target := int64(300)
+	if err := RunAll(m, &TimingInject{TargetCycles: target}); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m)
+	var last int64
+	var maxGap int64
+	ip.Hooks.YieldCheck = func(elapsed int64) int64 {
+		if gap := elapsed - last; gap > maxGap {
+			maxGap = gap
+		}
+		last = elapsed
+		return 0
+	}
+	if _, err := ip.Call("walk", 64); err != nil {
+		t.Fatal(err)
+	}
+	if maxGap > 2*target {
+		t.Fatalf("max dynamic gap %d exceeds 2x target %d", maxGap, target)
+	}
+}
+
+func TestPollBlendUsesOpPoll(t *testing.T) {
+	m := arrayWalk()
+	ti := &TimingInject{TargetCycles: 500, Op: ir.OpPoll}
+	if ti.Name() != "poll-blend" {
+		t.Fatal("pass name wrong")
+	}
+	if err := RunAll(m, ti); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs["walk"]
+	if f.CountOp(ir.OpPoll) == 0 {
+		t.Fatal("no poll checks inserted")
+	}
+	if f.CountOp(ir.OpYieldCheck) != 0 {
+		t.Fatal("wrong op inserted")
+	}
+	ip, _ := interp.New(m)
+	polls := 0
+	ip.Hooks.Poll = func() int64 { polls++; return 3 }
+	if _, err := ip.Call("walk", 64); err != nil {
+		t.Fatal(err)
+	}
+	if polls == 0 {
+		t.Fatal("polls never executed")
+	}
+}
+
+func TestRunAllVerifiesAfterEachPass(t *testing.T) {
+	m := arrayWalk()
+	bad := passFunc{name: "breaker", run: func(f *ir.Function) error {
+		// Remove the terminator of the entry block.
+		e := f.Entry()
+		e.Instrs = e.Instrs[:len(e.Instrs)-1]
+		return nil
+	}}
+	if err := RunAll(m, bad); err == nil {
+		t.Fatal("expected verification failure")
+	}
+}
+
+type passFunc struct {
+	name string
+	run  func(*ir.Function) error
+}
+
+func (p passFunc) Name() string             { return p.name }
+func (p passFunc) Run(f *ir.Function) error { return p.run(f) }
+
+func TestInstrCostCoversAllOps(t *testing.T) {
+	c := interp.DefaultCosts()
+	ops := []ir.Op{
+		ir.OpConst, ir.OpMov, ir.OpAdd, ir.OpMul, ir.OpDiv, ir.OpFAdd,
+		ir.OpFMul, ir.OpFDiv, ir.OpLoad, ir.OpStore, ir.OpAlloc, ir.OpFree,
+		ir.OpCall, ir.OpBr, ir.OpJmp, ir.OpRet, ir.OpGuard, ir.OpYieldCheck,
+	}
+	for _, op := range ops {
+		if InstrCost(&ir.Instr{Op: op}, c) <= 0 {
+			t.Fatalf("op %s has non-positive cost", op)
+		}
+	}
+}
+
+func TestChunkedTimingReducesCheckDensity(t *testing.T) {
+	// With chunking, a small-body loop fires a check every ~K
+	// iterations instead of every iteration.
+	run := func(chunk bool) (checks int, maxGap int64, result uint64) {
+		m := arrayWalk()
+		ti := &TimingInject{TargetCycles: 1000, ChunkLoops: chunk}
+		if err := RunAll(m, ti); err != nil {
+			t.Fatal(err)
+		}
+		ip, _ := interp.New(m)
+		var last int64
+		ip.Hooks.YieldCheck = func(elapsed int64) int64 {
+			checks++
+			if g := elapsed - last; g > maxGap {
+				maxGap = g
+			}
+			last = elapsed
+			return 6
+		}
+		result, err := ip.Call("walk", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return checks, maxGap, result
+	}
+	densChecks, _, densResult := run(false)
+	chunkChecks, chunkGap, chunkResult := run(true)
+	if densResult != walkWant || chunkResult != walkWant {
+		t.Fatalf("semantics broken: %d / %d", densResult, chunkResult)
+	}
+	if chunkChecks >= densChecks/3 {
+		t.Fatalf("chunking saved too little: %d vs %d checks", chunkChecks, densChecks)
+	}
+	if chunkChecks == 0 {
+		t.Fatal("chunked checks never fired")
+	}
+	// Gap stays bounded: worst case is one loop's residual budget plus
+	// the next loop's fresh budget (~2x target) plus static-estimate
+	// error.
+	if chunkGap > 3000 {
+		t.Fatalf("chunked max gap %d exceeds 3x target", chunkGap)
+	}
+}
+
+func TestChunkedTimingCountsLoops(t *testing.T) {
+	m := arrayWalk()
+	ti := &TimingInject{TargetCycles: 5000, ChunkLoops: true}
+	if err := RunAll(m, ti); err != nil {
+		t.Fatal(err)
+	}
+	if ti.LoopsChunked != 2 {
+		t.Fatalf("loops chunked = %d, want 2", ti.LoopsChunked)
+	}
+	// The function must still verify and contain counter arithmetic.
+	f := m.Funcs["walk"]
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedPollBlending(t *testing.T) {
+	m := arrayWalk()
+	ti := &TimingInject{TargetCycles: 2000, Op: ir.OpPoll, ChunkLoops: true}
+	if err := RunAll(m, ti); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m)
+	polls := 0
+	ip.Hooks.Poll = func() int64 { polls++; return 3 }
+	if got, err := ip.Call("walk", 64); err != nil || got != walkWant {
+		t.Fatalf("got %d err %v", got, err)
+	}
+	if polls == 0 {
+		t.Fatal("no polls")
+	}
+}

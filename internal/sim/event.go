@@ -1,0 +1,154 @@
+package sim
+
+import "container/heap"
+
+// Time is a point in simulated time, measured in CPU cycles of the
+// simulated machine's reference clock. All subsystems share this unit; a
+// machine's frequency converts cycles to nanoseconds where needed.
+type Time int64
+
+// Sub returns t - u as an int64 cycle count.
+func (t Time) Sub(u Time) int64 { return int64(t) - int64(u) }
+
+// Event is a scheduled callback in the simulation.
+type Event struct {
+	// At is the simulated time the event fires.
+	At Time
+	// Fn is invoked when the event fires. It may schedule further events.
+	Fn func()
+	// seq breaks ties so that events scheduled earlier at the same time
+	// fire first, keeping the simulation deterministic.
+	seq   uint64
+	index int // heap index; -1 when not queued
+	dead  bool
+}
+
+// Cancel marks an event so it will be skipped when it reaches the head of
+// the queue. Cancelling an already-fired event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop: a clock plus a priority
+// queue of events. It is single-threaded by design; determinism comes from
+// total ordering of (time, sequence) pairs.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events that have fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been skipped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it would make the simulation acausal.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Halt stops the run loop after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to deadline (if it has not already passed it). Events after the deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,250 @@
+// Package virtine implements function-granularity virtualization
+// (§IV-D): virtines — functions executing in isolated, virtualized
+// execution contexts — and Wasp, the microhypervisor that creates,
+// snapshots, pools, and runs them.
+//
+// A virtine's code is an internal/ir function; each invocation executes
+// in its own interpreter with its own heap, which *is* the isolation
+// property (no state is shared unless explicitly passed). Start-up paths
+// reproduce the paper's cost structure: a cold boot walks the real mode →
+// protected → long-mode stages and lands near 100 µs, snapshots and
+// pools land far below, and bespoke contexts (§V-E) stop booting as
+// early as the function's needs allow ("we may even leave the machine in
+// 16-bit mode ... for certain simple services").
+package virtine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// ErrNoPool is returned when a pooled start finds no warm VM.
+var ErrNoPool = errors.New("virtine: pool empty")
+
+// BootLevel is how far the context boots before running user code.
+type BootLevel int
+
+// Boot levels (bespoke contexts can stop early).
+const (
+	Boot16 BootLevel = iota // real mode only: simplest services
+	Boot32                  // protected mode
+	Boot64                  // long mode: full environment
+)
+
+// String names the level.
+func (b BootLevel) String() string {
+	switch b {
+	case Boot16:
+		return "16-bit"
+	case Boot32:
+		return "protected"
+	default:
+		return "long"
+	}
+}
+
+// StartPath selects how the virtine context is obtained.
+type StartPath int
+
+// Start paths.
+const (
+	StartCold StartPath = iota
+	StartSnapshot
+	StartPooled
+)
+
+// String names the path.
+func (s StartPath) String() string {
+	switch s {
+	case StartCold:
+		return "cold"
+	case StartSnapshot:
+		return "snapshot"
+	default:
+		return "pooled"
+	}
+}
+
+// Spec declares a virtine: its code, entry point, and the bespoke
+// context it needs. This is the compiler's output for the `virtine`
+// keyword of Fig. 5.
+type Spec struct {
+	Mod   *ir.Module
+	Entry string
+	// Boot is the minimum environment the code needs.
+	Boot BootLevel
+	// NeedFP: the context must initialize the FPU ("a piece of code
+	// which leverages only integer math need not have the OS layer set
+	// up the floating point unit").
+	NeedFP bool
+	// NeedIO: the context needs device I/O support in its shim.
+	NeedIO bool
+	// HeapBytes sizes the isolated heap (default 16 MiB).
+	HeapBytes uint64
+}
+
+// Latency decomposes one invocation.
+type Latency struct {
+	StartupCycles int64
+	ExecCycles    int64
+	ExitCycles    int64
+}
+
+// Total returns the end-to-end latency.
+func (l Latency) Total() int64 { return l.StartupCycles + l.ExecCycles + l.ExitCycles }
+
+// Stats aggregate over a Wasp instance.
+type Stats struct {
+	Invocations  int64
+	ColdBoots    int64
+	SnapRestores int64
+	PoolHits     int64
+	PoolRefills  int64
+	SnapCreated  int64
+}
+
+// Wasp is the microhypervisor: it runs as an ordinary process (its
+// state here) and multiplexes virtine contexts.
+type Wasp struct {
+	Model model.Model
+	Stats Stats
+
+	// snapshots holds post-boot images keyed by spec identity.
+	snapshots map[string]bool
+	// pool holds counts of warm contexts keyed by spec identity.
+	pool map[string]int
+	// PoolTarget is the warm-pool size Wasp maintains per spec.
+	PoolTarget int
+}
+
+// NewWasp creates a microhypervisor with the given platform model.
+func NewWasp(m model.Model) *Wasp {
+	return &Wasp{
+		Model:      m,
+		snapshots:  make(map[string]bool),
+		pool:       make(map[string]int),
+		PoolTarget: 4,
+	}
+}
+
+func specKey(s *Spec) string {
+	return fmt.Sprintf("%s/%s/b%d/fp%v/io%v", s.Mod.Name, s.Entry, s.Boot, s.NeedFP, s.NeedIO)
+}
+
+// BootCycles returns the bespoke boot cost for a spec: stages up to the
+// requested level, plus shim setup scaled by what the code needs.
+func (w *Wasp) BootCycles(s *Spec) int64 {
+	v := w.Model.Virtine
+	c := v.Boot16
+	if s.Boot >= Boot32 {
+		c += v.BootProtected
+	}
+	if s.Boot >= Boot64 {
+		c += v.BootLong
+	}
+	shim := v.RuntimeShimInit
+	if !s.NeedIO {
+		shim -= shim / 3 // no driver layer to set up
+	}
+	if !s.NeedFP {
+		shim -= shim / 4 // no FPU/XSAVE area initialization
+	}
+	c += shim
+	if s.NeedFP {
+		c += w.Model.HW.FPStateRestore
+	}
+	return c
+}
+
+// StartupCycles returns the start-path cost for a spec. Snapshot starts
+// create the snapshot on first use (charged SnapCreated, returned as a
+// cold boot); pooled starts fall back to cold when the pool is empty.
+func (w *Wasp) startupCycles(s *Spec, path StartPath) int64 {
+	v := w.Model.Virtine
+	key := specKey(s)
+	switch path {
+	case StartSnapshot:
+		if w.snapshots[key] {
+			w.Stats.SnapRestores++
+			return v.SnapshotRestore
+		}
+		// First use: boot cold and capture the image.
+		w.snapshots[key] = true
+		w.Stats.SnapCreated++
+		w.Stats.ColdBoots++
+		return v.VMCreate + w.BootCycles(s) + v.SnapshotRestore/4
+	case StartPooled:
+		if w.pool[key] > 0 {
+			w.pool[key]--
+			w.Stats.PoolHits++
+			// Wasp refills the pool asynchronously; the refill cost is
+			// off the critical path and only counted.
+			w.Stats.PoolRefills++
+			return v.PoolHandoff
+		}
+		w.Stats.ColdBoots++
+		w.pool[key] = w.PoolTarget // warm the pool for future calls
+		w.Stats.PoolRefills += int64(w.PoolTarget)
+		return v.VMCreate + w.BootCycles(s)
+	default:
+		w.Stats.ColdBoots++
+		return v.VMCreate + w.BootCycles(s)
+	}
+}
+
+// Invoke runs a virtine: isolated interpreter, isolated heap, arguments
+// marshalled through hypercall-style copies. Returns the function result
+// and the latency decomposition.
+func (w *Wasp) Invoke(s *Spec, path StartPath, args ...uint64) (uint64, Latency, error) {
+	w.Stats.Invocations++
+	var lat Latency
+	lat.StartupCycles = w.startupCycles(s, path)
+
+	heapBytes := s.HeapBytes
+	if heapBytes == 0 {
+		heapBytes = 16 << 20
+	}
+	h, err := interp.NewHeap(0x10000, heapBytes)
+	if err != nil {
+		return 0, lat, err
+	}
+	ip := &interp.Interp{
+		Mod:      s.Mod,
+		Heap:     h,
+		Cost:     interp.DefaultCosts(),
+		MaxSteps: 100_000_000,
+		MaxDepth: 512,
+	}
+	// Argument marshalling is a hypercall each way.
+	v := w.Model.Virtine
+	lat.StartupCycles += v.VMExitEntry + int64(len(args))*v.HypercallMarshal
+
+	ret, err := ip.Call(s.Entry, args...)
+	lat.ExecCycles = ip.Stats.Cycles
+	lat.ExitCycles = v.VMExitEntry + v.HypercallMarshal
+	if err != nil {
+		return 0, lat, fmt.Errorf("virtine %s: %w", s.Entry, err)
+	}
+	return ret, lat, nil
+}
+
+// WarmPool pre-creates n contexts for a spec (Wasp does this at
+// registration time in the real system).
+func (w *Wasp) WarmPool(s *Spec, n int) {
+	w.pool[specKey(s)] += n
+	w.Stats.PoolRefills += int64(n)
+}
+
+// PoolSize reports the current warm count for a spec.
+func (w *Wasp) PoolSize(s *Spec) int { return w.pool[specKey(s)] }
+
+// ProcessBaselineCycles returns the fork+exec cost of the conventional
+// isolation alternative.
+func (w *Wasp) ProcessBaselineCycles() int64 { return w.Model.Linux.ForkExec }
+
+// ContainerBaselineCycles returns the container-start alternative.
+func (w *Wasp) ContainerBaselineCycles() int64 { return w.Model.Linux.ContainerStart }

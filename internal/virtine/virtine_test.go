@@ -1,0 +1,278 @@
+package virtine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// fibModule builds the paper's Fig. 5 example: virtine int fib(int n).
+func fibModule() *ir.Module {
+	m := ir.NewModule("fib")
+	f := m.NewFunction("fib", 1)
+	b := ir.NewBuilder(f)
+	n := b.Param(0)
+	two := b.Const(2)
+	base := b.Block("base")
+	rec := b.Block("rec")
+	b.Br(b.ICmp(ir.PredLT, n, two), base, rec)
+	b.SetBlock(base)
+	b.Ret(n)
+	b.SetBlock(rec)
+	one := b.Const(1)
+	x := b.Call("fib", b.Sub(n, one))
+	y := b.Call("fib", b.Sub(n, two))
+	b.Ret(b.Add(x, y))
+	return m
+}
+
+func fibSpec() *Spec {
+	return &Spec{Mod: fibModule(), Entry: "fib", Boot: Boot64}
+}
+
+func TestInvokeComputesCorrectly(t *testing.T) {
+	w := NewWasp(model.Default())
+	got, lat, err := w.Invoke(fibSpec(), StartCold, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+	if lat.StartupCycles <= 0 || lat.ExecCycles <= 0 || lat.Total() <= lat.ExecCycles {
+		t.Fatalf("latency decomposition wrong: %+v", lat)
+	}
+}
+
+func TestColdBootNear100us(t *testing.T) {
+	// §IV-D: "start-up overheads as low as 100µs". At the default
+	// 1 GHz model, 100 µs = 100k cycles.
+	w := NewWasp(model.Default())
+	s := fibSpec()
+	s.NeedFP = true
+	s.NeedIO = true
+	cost := w.Model.Virtine.VMCreate + w.BootCycles(s)
+	us := w.Model.CyclesToMicros(cost)
+	if us < 80 || us > 130 {
+		t.Fatalf("cold full boot = %.1f µs, want ≈100", us)
+	}
+}
+
+func TestBespokeContextsCheaper(t *testing.T) {
+	// §V-E: contexts that need less boot less.
+	w := NewWasp(model.Default())
+	full := &Spec{Mod: fibModule(), Entry: "fib", Boot: Boot64, NeedFP: true, NeedIO: true}
+	mini := &Spec{Mod: fibModule(), Entry: "fib", Boot: Boot16}
+	bFull := w.BootCycles(full)
+	bMini := w.BootCycles(mini)
+	if bMini >= bFull {
+		t.Fatalf("16-bit bespoke boot %d >= full boot %d", bMini, bFull)
+	}
+	if float64(bMini) > 0.5*float64(bFull) {
+		t.Fatalf("bespoke saving too small: %d vs %d", bMini, bFull)
+	}
+	mid := &Spec{Mod: fibModule(), Entry: "fib", Boot: Boot32}
+	if b := w.BootCycles(mid); b <= bMini || b >= bFull {
+		t.Fatalf("protected-mode boot %d not between %d and %d", b, bMini, bFull)
+	}
+}
+
+func TestSnapshotFasterAfterFirstUse(t *testing.T) {
+	w := NewWasp(model.Default())
+	s := fibSpec()
+	_, first, err := w.Invoke(s, StartSnapshot, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := w.Invoke(s, StartSnapshot, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.StartupCycles >= first.StartupCycles {
+		t.Fatalf("snapshot restart %d >= first boot %d", second.StartupCycles, first.StartupCycles)
+	}
+	if w.Stats.SnapCreated != 1 || w.Stats.SnapRestores != 1 {
+		t.Fatalf("stats = %+v", w.Stats)
+	}
+}
+
+func TestPooledStartCheapest(t *testing.T) {
+	w := NewWasp(model.Default())
+	s := fibSpec()
+	w.WarmPool(s, 2)
+	_, pooled, err := w.Invoke(s, StartPooled, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWasp(model.Default())
+	_, cold, _ := w2.Invoke(fibSpec(), StartCold, 5)
+	w3 := NewWasp(model.Default())
+	sn := fibSpec()
+	w3.Invoke(sn, StartSnapshot, 5)
+	_, snap, _ := w3.Invoke(sn, StartSnapshot, 5)
+
+	if !(pooled.StartupCycles < snap.StartupCycles && snap.StartupCycles < cold.StartupCycles) {
+		t.Fatalf("ordering wrong: pooled=%d snap=%d cold=%d",
+			pooled.StartupCycles, snap.StartupCycles, cold.StartupCycles)
+	}
+}
+
+func TestPoolFallsBackAndRefills(t *testing.T) {
+	w := NewWasp(model.Default())
+	s := fibSpec()
+	if w.PoolSize(s) != 0 {
+		t.Fatal("pool should start empty")
+	}
+	_, lat, err := w.Invoke(s, StartPooled, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pooled call cold-boots and warms the pool.
+	if w.Stats.ColdBoots != 1 {
+		t.Fatalf("cold boots = %d", w.Stats.ColdBoots)
+	}
+	if w.PoolSize(s) != w.PoolTarget {
+		t.Fatalf("pool = %d, want %d", w.PoolSize(s), w.PoolTarget)
+	}
+	_, lat2, _ := w.Invoke(s, StartPooled, 3)
+	if lat2.StartupCycles >= lat.StartupCycles {
+		t.Fatal("second pooled call should hit the warm pool")
+	}
+	if w.Stats.PoolHits != 1 {
+		t.Fatalf("pool hits = %d", w.Stats.PoolHits)
+	}
+}
+
+func TestIsolation(t *testing.T) {
+	// Two invocations of a stateful function must not share memory:
+	// each virtine gets a fresh heap.
+	m := ir.NewModule("counter")
+	f := m.NewFunction("bump", 0)
+	b := ir.NewBuilder(f)
+	// Allocate a cell, increment what is there, return it. If state
+	// leaked across invocations the second call would return 2.
+	cell := b.Alloc(8)
+	v := b.Load(cell, 0)
+	one := b.Const(1)
+	nv := b.Add(v, one)
+	b.Store(cell, 0, nv)
+	b.Ret(nv)
+	s := &Spec{Mod: m, Entry: "bump", Boot: Boot64}
+
+	w := NewWasp(model.Default())
+	r1, _, err := w.Invoke(s, StartCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := w.Invoke(s, StartCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != 1 || r2 != 1 {
+		t.Fatalf("isolation broken: r1=%d r2=%d (state leaked)", r1, r2)
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	// The virtine pitch: far cheaper than process- or container-grade
+	// isolation.
+	w := NewWasp(model.Default())
+	s := fibSpec()
+	cold := w.Model.Virtine.VMCreate + w.BootCycles(s)
+	if cold >= w.ProcessBaselineCycles() {
+		t.Fatalf("virtine cold boot %d >= fork/exec %d", cold, w.ProcessBaselineCycles())
+	}
+	if w.ProcessBaselineCycles() >= w.ContainerBaselineCycles() {
+		t.Fatal("baseline ordering wrong")
+	}
+}
+
+func TestMarshallingCharged(t *testing.T) {
+	w := NewWasp(model.Default())
+	s := fibSpec()
+	_, lat1, _ := w.Invoke(s, StartCold, 1)
+	w2 := NewWasp(model.Default())
+	m := fibModule()
+	f := m.NewFunction("fib3", 3)
+	fb := ir.NewBuilder(f)
+	fb.Ret(fb.Param(0))
+	s3 := &Spec{Mod: m, Entry: "fib3", Boot: Boot64}
+	_, lat3, err := w2.Invoke(s3, StartCold, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perArg := w.Model.Virtine.HypercallMarshal
+	if lat3.StartupCycles != lat1.StartupCycles+2*perArg {
+		t.Fatalf("marshal cost wrong: %d vs %d", lat3.StartupCycles, lat1.StartupCycles)
+	}
+}
+
+func TestInvokeErrorPropagates(t *testing.T) {
+	m := ir.NewModule("bad")
+	f := m.NewFunction("boom", 0)
+	b := ir.NewBuilder(f)
+	b.Ret(b.Div(b.Const(1), b.Const(0)))
+	w := NewWasp(model.Default())
+	_, _, err := w.Invoke(&Spec{Mod: m, Entry: "boom", Boot: Boot64}, StartCold)
+	if err == nil || !strings.Contains(err.Error(), "virtine boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Boot16.String() != "16-bit" || Boot32.String() != "protected" || Boot64.String() != "long" {
+		t.Fatal("boot level names")
+	}
+	if StartCold.String() != "cold" || StartSnapshot.String() != "snapshot" || StartPooled.String() != "pooled" {
+		t.Fatal("start path names")
+	}
+}
+
+func TestServiceVirtinesSustainLoadForkCannot(t *testing.T) {
+	// At 1 request per 150µs with ~10µs of work: pooled virtines
+	// (≈4µs startup) are far below saturation; fork/exec (900µs) is
+	// over capacity and its queue explodes.
+	mdl := model.Default()
+	w := NewWasp(mdl)
+	base := ServiceConfig{
+		ArrivalMeanCycles: 150_000,
+		Requests:          4000,
+		ExecCycles:        10_000,
+		Seed:              3,
+	}
+	pooled := base
+	pooled.StartupCycles = mdl.Virtine.PoolHandoff
+	fork := base
+	fork.StartupCycles = w.ProcessBaselineCycles()
+
+	rp := SimulateService(pooled)
+	rf := SimulateService(fork)
+	if rp.Utilization >= 0.5 {
+		t.Fatalf("virtine utilization = %.2f, should be far below saturation", rp.Utilization)
+	}
+	if rf.Utilization < 0.99 {
+		t.Fatalf("fork utilization = %.2f, should saturate", rf.Utilization)
+	}
+	// Tail latency: virtines bounded near service time; fork queue grows.
+	if rp.Latency.P99 > 100_000 {
+		t.Fatalf("virtine p99 = %.0f cycles, should stay near service time", rp.Latency.P99)
+	}
+	if rf.Latency.P99 < 10*rp.Latency.P99 {
+		t.Fatalf("fork p99 (%.0f) should dwarf virtine p99 (%.0f)", rf.Latency.P99, rp.Latency.P99)
+	}
+}
+
+func TestServiceDeterministic(t *testing.T) {
+	cfg := ServiceConfig{ArrivalMeanCycles: 50_000, Requests: 500, ExecCycles: 5000,
+		StartupCycles: 2500, Seed: 9}
+	a := SimulateService(cfg)
+	b := SimulateService(cfg)
+	if a.Latency.Mean != b.Latency.Mean || a.Throughput != b.Throughput {
+		t.Fatal("nondeterministic")
+	}
+	if a.Utilization <= 0 || a.Utilization > 1 {
+		t.Fatalf("utilization = %v", a.Utilization)
+	}
+}

@@ -1,0 +1,73 @@
+package workloads
+
+// NASKernel describes the parallel structure of a NAS-class iterative
+// solver as the kernel-OpenMP experiment needs it: time steps, each
+// consisting of several parallel regions separated by barriers, each
+// region a parallel loop of uniform-cost iterations.
+//
+// BT (block tridiagonal) does heavy per-cell work in three directional
+// sweeps plus RHS computation; SP (scalar pentadiagonal) has lighter
+// per-cell work and correspondingly higher sensitivity to fork/barrier
+// overheads — which is why Fig. 6 shows SP gaining more from the kernel
+// OpenMP paths at scale.
+type NASKernel struct {
+	Name           string
+	Steps          int
+	RegionsPerStep int
+	// Items is the loop trip count per region (grid cells).
+	Items int64
+	// CyclesPerItem is the per-cell computation cost.
+	CyclesPerItem int64
+	// FPHeavy marks kernels dominated by floating-point state.
+	FPHeavy bool
+}
+
+// SerialCycles returns the single-threaded pure-compute time.
+func (k NASKernel) SerialCycles() int64 {
+	return int64(k.Steps) * int64(k.RegionsPerStep) * k.Items * k.CyclesPerItem
+}
+
+// BT returns a block-tridiagonal-solver-shaped kernel.
+func BT() NASKernel {
+	return NASKernel{
+		Name:           "BT",
+		Steps:          24,
+		RegionsPerStep: 8, // rhs + x/y/z solve + add, etc.
+		Items:          60_000,
+		CyclesPerItem:  95,
+		FPHeavy:        true,
+	}
+}
+
+// SP returns a scalar-pentadiagonal-solver-shaped kernel: lighter cells,
+// more synchronization per unit of work.
+func SP() NASKernel {
+	return NASKernel{
+		Name:           "SP",
+		Steps:          36,
+		RegionsPerStep: 10,
+		Items:          60_000,
+		CyclesPerItem:  45,
+		FPHeavy:        true,
+	}
+}
+
+// EPCCSyncBench describes an EPCC-style synchronization microbenchmark:
+// an empty (or tiny) parallel region repeated many times, measuring pure
+// runtime overhead.
+type EPCCSyncBench struct {
+	Name          string
+	Repeats       int
+	Items         int64
+	CyclesPerItem int64
+}
+
+// EPCC returns the microbenchmark suite (parallel overhead, barrier
+// overhead via empty regions, and a small-loop case).
+func EPCC() []EPCCSyncBench {
+	return []EPCCSyncBench{
+		{Name: "parallel", Repeats: 200, Items: 0, CyclesPerItem: 0},
+		{Name: "parallel-for-small", Repeats: 200, Items: 256, CyclesPerItem: 8},
+		{Name: "parallel-for-large", Repeats: 50, Items: 65_536, CyclesPerItem: 8},
+	}
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func runKernelIR(t *testing.T, k IRKernel) uint64 {
+	t.Helper()
+	m := k.Build()
+	for _, f := range m.Functions() {
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+	}
+	ip, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call(k.Entry)
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	return got
+}
+
+func TestStreamTriadChecksum(t *testing.T) {
+	k := streamTriad(256)
+	got := runKernelIR(t, k)
+	if got != k.Want {
+		t.Fatalf("checksum = %d, want %d", got, k.Want)
+	}
+}
+
+func TestReductionChecksum(t *testing.T) {
+	k := reduction(500)
+	got := runKernelIR(t, k)
+	if got != k.Want {
+		t.Fatalf("checksum = %d, want %d", got, k.Want)
+	}
+}
+
+func TestAllKernelsRunAndAreDeterministic(t *testing.T) {
+	for _, k := range CARATSuite() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			a := runKernelIR(t, k)
+			b := runKernelIR(t, k)
+			if a != b {
+				t.Fatalf("nondeterministic checksum: %d vs %d", a, b)
+			}
+			if k.Want != 0 && a != k.Want {
+				t.Fatalf("checksum = %d, want %d", a, k.Want)
+			}
+		})
+	}
+}
+
+func TestKernelsAreLoopDense(t *testing.T) {
+	// The CARAT experiment depends on kernels whose work lives in
+	// loops; verify every kernel has loops.
+	for _, k := range CARATSuite() {
+		m := k.Build()
+		f := m.Funcs[k.Entry]
+		info := ir.AnalyzeCFG(f)
+		if len(info.Loops) == 0 {
+			t.Fatalf("%s has no loops", k.Name)
+		}
+	}
+}
+
+func TestNASKernels(t *testing.T) {
+	bt, sp := BT(), SP()
+	if bt.SerialCycles() <= 0 || sp.SerialCycles() <= 0 {
+		t.Fatal("serial cycles")
+	}
+	if !bt.FPHeavy || !sp.FPHeavy {
+		t.Fatal("NAS kernels are FP-heavy")
+	}
+	if sp.RegionsPerStep <= bt.RegionsPerStep && sp.CyclesPerItem >= bt.CyclesPerItem {
+		t.Fatal("SP must be more sync-sensitive than BT")
+	}
+}
+
+func TestEPCCSuite(t *testing.T) {
+	suite := EPCC()
+	if len(suite) != 3 {
+		t.Fatal("EPCC suite size")
+	}
+	if suite[0].Items != 0 {
+		t.Fatal("first bench must be the empty parallel region")
+	}
+}
+
+func TestPBBSBenchesProduceTraffic(t *testing.T) {
+	for _, b := range PBBS() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cfg := coherence.DefaultConfig()
+			cfg.Sockets = 1
+			cfg.CoresPerSocket = 4
+			s := coherence.New(cfg)
+			b.Run(s, 1, 7)
+			if s.Stats.Accesses == 0 {
+				t.Fatal("no accesses generated")
+			}
+			if s.Stats.TotalCycles() <= 0 {
+				t.Fatal("no cycles accumulated")
+			}
+		})
+	}
+}
+
+func TestPBBSDeactivationWins(t *testing.T) {
+	// Every PBBS benchmark must get at least some benefit; the private/
+	// read-only heavy ones must get a lot.
+	for _, b := range PBBS() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			run := func(deact bool) (int64, float64) {
+				cfg := coherence.DefaultConfig()
+				cfg.Sockets = 1
+				cfg.CoresPerSocket = 8
+				cfg.Deactivation = deact
+				s := coherence.New(cfg)
+				b.Run(s, 1, 7)
+				return s.Stats.SumCycles(), s.Stats.EnergyPJ
+			}
+			base, baseE := run(false)
+			fast, fastE := run(true)
+			if fast > base {
+				t.Fatalf("deactivation slowed %s: %d -> %d", b.Name, base, fast)
+			}
+			if fastE > baseE {
+				t.Fatalf("deactivation raised energy for %s", b.Name)
+			}
+		})
+	}
+}
+
+func TestPBBSDeterministicTraces(t *testing.T) {
+	b := PBBS()[0]
+	run := func() uint64 {
+		cfg := coherence.DefaultConfig()
+		cfg.Sockets = 1
+		cfg.CoresPerSocket = 4
+		s := coherence.New(cfg)
+		b.Run(s, 1, 99)
+		return s.Stats.Accesses + uint64(s.Stats.SumCycles())
+	}
+	if run() != run() {
+		t.Fatal("trace nondeterministic")
+	}
+}
