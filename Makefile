@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet test short race bench all check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Quick gate: skips the multi-second sweep tests.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure (parallel across all cores by default).
+all:
+	$(GO) run ./cmd/interweave all
+
+# Standard local gate.
+check: build vet race

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/heartbeat"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -457,5 +458,43 @@ func BenchmarkExt_Schedules(b *testing.B) {
 		if len(tab.Rows) != 4 {
 			b.Fatal("bad table")
 		}
+	}
+}
+
+// BenchmarkParallelRunner measures the deterministic experiment-cell
+// pool end-to-end on the CARAT multi-benchmark loop: one cell per
+// kernel, sequential (-parallel 1) vs GOMAXPROCS-wide (-parallel 0).
+// Output tables are bit-identical in both modes; only wall-clock moves.
+func BenchmarkParallelRunner(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		par  int
+	}{{"sequential", 1}, {"gomaxprocs", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewStack(1)
+				s.Parallel = cfg.par
+				if tab := s.CARAT(); len(tab.Rows) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExpPoolOverhead isolates the pool's own cost: dispatching
+// trivial cells through the bounded worker pool with pre-split RNGs.
+func BenchmarkExpPoolOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				root := sim.NewRNG(42)
+				out, err := exp.MapRNG(exp.New(workers), root, 256,
+					func(_ int, rng *sim.RNG) (uint64, error) { return rng.Uint64(), nil })
+				if err != nil || len(out) != 256 {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

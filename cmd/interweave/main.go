@@ -23,6 +23,12 @@
 //	riscv       X4  §V-F   mechanisms on open RISC-V hardware
 //	paging      X5  §I/III translation-regime overheads
 //	tasks       X6  §IV-C  fine-grain task viability
+//
+// Independent experiment cells run on a bounded worker pool; -parallel N
+// (or $INTERWEAVE_PARALLEL) sets the pool width, 0 meaning GOMAXPROCS.
+// Output is byte-identical at every width: every cell derives its
+// randomness from the seed (pre-split, index-ordered RNGs), and tables
+// print in canonical order.
 package main
 
 import (
@@ -31,7 +37,15 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
+
+// allExperiments is the canonical experiment order for `interweave all`.
+var allExperiments = []string{
+	"nautilus", "fig3", "fig4", "carat", "fig6", "fig7",
+	"virtine", "pipeline", "blending", "farmem", "consistency",
+	"riscv", "paging", "tasks",
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -49,25 +63,27 @@ func main() {
 	cpus := fs.Int("cpus", 16, "CPU count for CPU-parameterized experiments")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of aligned text")
+	parallel := fs.Int("parallel", 0,
+		"max concurrent experiment cells (0 = $INTERWEAVE_PARALLEL or GOMAXPROCS, 1 = sequential)")
 	_ = fs.Parse(os.Args[2:])
 
-	emit := func(t *core.Table) {
-		if *jsonOut {
-			fmt.Println(t.JSON())
-			return
-		}
-		fmt.Println(t)
+	// stack applies the shared knobs to a freshly built stack.
+	stack := func(s *core.Stack) *core.Stack {
+		s.Seed = *seed
+		s.Parallel = *parallel
+		return s
 	}
 
-	run := func(name string) {
+	// run regenerates one experiment's tables, in order, into a slice;
+	// printing is the caller's job so `all` can serialize output.
+	run := func(name string) []*core.Table {
+		var tables []*core.Table
+		emit := func(t *core.Table) { tables = append(tables, t) }
 		switch name {
 		case "nautilus":
-			s := core.NewStack(*cpus)
-			s.Seed = *seed
-			emit(s.Primitives())
+			emit(stack(core.NewStack(*cpus)).Primitives())
 		case "fig3":
-			s := core.NewStack(16)
-			s.Seed = *seed
+			s := stack(core.NewStack(16))
 			cfg := core.DefaultFig3Config()
 			emit(s.Fig3(cfg))
 			if *overheads {
@@ -77,30 +93,26 @@ func main() {
 				emit(s.Fig3Sweep(20))
 			}
 		case "fig4":
-			s := core.KNLStack(1)
-			s.Seed = *seed
+			s := stack(core.KNLStack(1))
 			emit(s.Fig4())
 			if *granularity {
 				emit(s.GranularityLimit(0.5))
 			}
 		case "carat":
-			s := core.NewStack(1)
-			s.Seed = *seed
+			s := stack(core.NewStack(1))
 			emit(s.CARAT())
 			if *mobility {
 				emit(s.CARATMobility())
 			}
 		case "fig6":
-			s := core.KNLStack(1)
-			s.Seed = *seed
+			s := stack(core.KNLStack(1))
 			emit(s.Fig6(core.DefaultFig6Config()))
 			if *epcc {
 				emit(s.EPCC(*cpus))
 				emit(s.Schedules(*cpus))
 			}
 		case "fig7":
-			s := core.ServerStack()
-			s.Seed = *seed
+			s := stack(core.ServerStack())
 			emit(s.Fig7())
 			if *sweep {
 				emit(s.Fig7Sweep())
@@ -109,57 +121,59 @@ func main() {
 				emit(s.AblationSharingClasses())
 			}
 		case "virtine":
-			s := core.NewStack(1)
-			s.Seed = *seed
-			emit(s.Virtines())
+			emit(stack(core.NewStack(1)).Virtines())
 		case "pipeline":
-			s := core.NewStack(1)
-			s.Seed = *seed
-			emit(s.Pipeline())
+			emit(stack(core.NewStack(1)).Pipeline())
 		case "blending":
-			s := core.NewStack(1)
-			s.Seed = *seed
-			emit(s.Blending())
+			emit(stack(core.NewStack(1)).Blending())
 		case "farmem":
-			s := core.NewStack(1)
-			s.Seed = *seed
-			emit(s.FarMemory())
+			emit(stack(core.NewStack(1)).FarMemory())
 		case "consistency":
-			s := core.NewStack(1)
-			s.Seed = *seed
-			emit(s.Consistency())
+			emit(stack(core.NewStack(1)).Consistency())
 		case "riscv":
-			s := core.NewStack(*cpus)
-			s.Seed = *seed
-			emit(s.CrossISA())
+			emit(stack(core.NewStack(*cpus)).CrossISA())
 		case "paging":
-			s := core.NewStack(1)
-			s.Seed = *seed
-			emit(s.Paging())
+			emit(stack(core.NewStack(1)).Paging())
 		case "tasks":
-			s := core.KNLStack(1)
-			s.Seed = *seed
-			emit(s.TaskGranularity(*cpus))
+			emit(stack(core.KNLStack(1)).TaskGranularity(*cpus))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
 			usage()
 			os.Exit(2)
+		}
+		return tables
+	}
+
+	print := func(tables []*core.Table) {
+		for _, t := range tables {
+			if *jsonOut {
+				fmt.Println(t.JSON())
+			} else {
+				fmt.Println(t)
+			}
 		}
 	}
 
 	if cmd == "all" {
 		*overheads, *granularity, *mobility, *epcc, *sweep, *ablate =
 			true, true, true, true, true, true
-		for _, name := range []string{
-			"nautilus", "fig3", "fig4", "carat", "fig6", "fig7",
-			"virtine", "pipeline", "blending", "farmem", "consistency",
-			"riscv", "paging", "tasks",
-		} {
-			run(name)
+		// One goroutine per experiment on the same bounded pool the
+		// per-experiment cells use; tables buffer per experiment and
+		// print in canonical order once everything finished.
+		results, err := exp.Map(exp.New(*parallel), len(allExperiments),
+			func(i int) ([]*core.Table, error) {
+				return run(allExperiments[i]), nil
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, tables := range results {
+			print(tables)
 		}
 		return
 	}
-	run(cmd)
+	print(run(cmd))
 }
 
 func usage() {
@@ -180,5 +194,10 @@ experiments:
   riscv       §V-F   interweaving mechanisms on open hardware (extension)
   paging      §I/III translation-regime overheads (motivation)
   tasks       §IV-C  fine-grain task viability by runtime mode
-  all                everything above with all sub-reports`)
+  all                everything above with all sub-reports
+
+flags:
+  -parallel N  max concurrent experiment cells; 0 (default) uses
+               $INTERWEAVE_PARALLEL or GOMAXPROCS, 1 runs sequentially.
+               Output is byte-identical at every setting.`)
 }

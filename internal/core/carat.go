@@ -34,9 +34,13 @@ func (s *Stack) CARAT() *Table {
 		Title:  "CARAT overhead: naive guards vs compiler-hoisted guards",
 		Header: []string{"kernel", "base (Kcyc)", "naive ovh", "hoisted ovh", "guards naive", "guards hoisted", "ok"},
 	}
+	suite := workloads.CARATSuite()
 	var naiveOvh, hoistOvh []float64
-	for _, k := range workloads.CARATSuite() {
-		r := s.caratKernel(k)
+	// One cell per kernel: each cell runs the kernel's base, naive, and
+	// hoisted configurations on its own interpreter instances.
+	for _, r := range runCells(s, len(suite), func(i int) caratResult {
+		return s.caratKernel(suite[i])
+	}) {
 		naiveOvh = append(naiveOvh, 1+r.naiveOverhead)
 		hoistOvh = append(hoistOvh, 1+r.hoistedOverhead)
 		ok := "yes"

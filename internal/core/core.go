@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -102,6 +103,27 @@ type Stack struct {
 	Model model.Model
 	Topo  machine.Topology
 	Seed  uint64
+	// Parallel bounds how many independent experiment cells (sweep
+	// points, substrates, benchmarks) run concurrently: 0 means
+	// exp.DefaultWorkers() ($INTERWEAVE_PARALLEL or GOMAXPROCS), 1
+	// forces sequential execution. Results are bit-identical at every
+	// setting: each cell builds its own machine and RNG from the seed,
+	// and rows are assembled in canonical order.
+	Parallel int
+}
+
+// pool returns the worker pool for this stack's experiment cells.
+func (s *Stack) pool() *exp.Pool { return exp.New(s.Parallel) }
+
+// runCells evaluates n independent experiment cells on s's pool and
+// returns the results in index order, panicking on any cell failure
+// (the drivers' error discipline throughout this package).
+func runCells[T any](s *Stack, n int, fn func(i int) T) []T {
+	out, err := exp.Map(s.pool(), n, func(i int) (T, error) { return fn(i), nil })
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // NewStack returns a stack on the default 1 GHz platform with the given

@@ -32,6 +32,7 @@ func findRow(tab *Table, prefix string) int {
 }
 
 func TestTableRendering(t *testing.T) {
+	t.Parallel()
 	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
 	tab.AddRow("1", "2")
 	tab.AddNote("hello %d", 5)
@@ -44,6 +45,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultFig3Config()
 	cfg.Items = 1_500_000
 	tab := NewStack(16).Fig3(cfg)
@@ -69,6 +71,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig3Overheads(t *testing.T) {
+	t.Parallel()
 	// Full workload length: overhead amortizes start-up/tail stealing.
 	tab := NewStack(16).Fig3Overheads(DefaultFig3Config())
 	nk := cell(t, tab, 0, 1)
@@ -82,6 +85,7 @@ func TestFig3Overheads(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	t.Parallel()
 	tab := KNLStack(1).Fig4()
 	lxFP := cell(t, tab, findRow(tab, "linux thread (non-RT, FP)"), 1)
 	if lxFP < 4800 || lxFP > 5200 {
@@ -113,6 +117,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig4Granularity(t *testing.T) {
+	t.Parallel()
 	tab := KNLStack(1).GranularityLimit(0.5)
 	lx := cell(t, tab, 0, 2)
 	ct := cell(t, tab, 2, 2)
@@ -122,6 +127,7 @@ func TestFig4Granularity(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	t.Parallel()
 	cfg := Fig6Config{CPUCounts: []int{8, 32, 64}, Kernels: DefaultFig6Config().Kernels, Steps: 3}
 	tab := KNLStack(1).Fig6(cfg)
 	if len(tab.Rows) != 6 {
@@ -144,6 +150,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	t.Parallel()
 	tab := ServerStack().Fig7()
 	avg := findRow(tab, "average")
 	if avg < 0 {
@@ -166,6 +173,10 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig7SweepGrowsWithScaleAndLatency(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("skipping 10s+ scale sweep in -short mode")
+	}
 	tab := ServerStack().Fig7Sweep()
 	// Rows are (cores, latX) pairs in order; compare 8-core 1x vs
 	// 48-core 4x.
@@ -177,6 +188,7 @@ func TestFig7SweepGrowsWithScaleAndLatency(t *testing.T) {
 }
 
 func TestFig7Ablation(t *testing.T) {
+	t.Parallel()
 	tab := ServerStack().AblationSharingClasses()
 	all := cell(t, tab, 0, 1)
 	if all <= 1.0 {
@@ -191,6 +203,7 @@ func TestFig7Ablation(t *testing.T) {
 }
 
 func TestCARATGeomeanUnderSix(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).CARAT()
 	g := findRow(tab, "geomean")
 	hoisted := cell(t, tab, g, 3)
@@ -210,6 +223,7 @@ func TestCARATGeomeanUnderSix(t *testing.T) {
 }
 
 func TestCARATMobility(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).CARATMobility()
 	integ := findRow(tab, "pointer integrity")
 	if tab.Rows[integ][2] != "verified" {
@@ -223,6 +237,7 @@ func TestCARATMobility(t *testing.T) {
 }
 
 func TestPrimitives(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(16).Primitives()
 	for _, prim := range []string{"thread create", "event signal (mean)", "context switch (FP)"} {
 		i := findRow(tab, prim)
@@ -250,6 +265,7 @@ func TestPrimitives(t *testing.T) {
 }
 
 func TestVirtinesShape(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).Virtines()
 	cold := cell(t, tab, findRow(tab, "cold"), 1)
 	snap := cell(t, tab, findRow(tab, "snapshot"), 1)
@@ -278,6 +294,7 @@ func TestVirtinesShape(t *testing.T) {
 }
 
 func TestPipelineShape(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).Pipeline()
 	mean := findRow(tab, "mean latency")
 	sp := cell(t, tab, mean, 3)
@@ -287,6 +304,7 @@ func TestPipelineShape(t *testing.T) {
 }
 
 func TestBlendingShape(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).Blending()
 	polled := findRow(tab, "blended polling")
 	intr := findRow(tab, "interrupt-driven")
@@ -307,6 +325,7 @@ func TestBlendingShape(t *testing.T) {
 }
 
 func TestStackBuilders(t *testing.T) {
+	t.Parallel()
 	if s := KNLStack(4); s.Model.FreqGHz != 1.3 || s.Topo.NumCPUs() != 4 {
 		t.Fatal("KNL stack wrong")
 	}
@@ -320,6 +339,7 @@ func TestStackBuilders(t *testing.T) {
 }
 
 func TestEPCCTable(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).EPCC(8)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -333,6 +353,10 @@ func TestEPCCTable(t *testing.T) {
 }
 
 func TestFarMemoryShape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("skipping multi-second far-memory sweep in -short mode")
+	}
 	tab := NewStack(1).FarMemory()
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -353,6 +377,7 @@ func TestFarMemoryShape(t *testing.T) {
 }
 
 func TestConsistencyShape(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).Consistency()
 	// No unrelated stores: no reduction.
 	if red := cell(t, tab, 0, 4); red != 0 {
@@ -373,6 +398,7 @@ func TestConsistencyShape(t *testing.T) {
 }
 
 func TestCrossISAShape(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(16).CrossISA()
 	// RISC-V dispatch is leaner.
 	d := findRow(tab, "interrupt dispatch")
@@ -392,6 +418,7 @@ func TestCrossISAShape(t *testing.T) {
 }
 
 func TestPagingShape(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).Paging()
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -413,6 +440,7 @@ func TestPagingShape(t *testing.T) {
 }
 
 func TestTableJSON(t *testing.T) {
+	t.Parallel()
 	tab := &Table{ID: "x", Title: "demo", Header: []string{"a"}, Rows: [][]string{{"1"}}}
 	tab.AddNote("n")
 	js := tab.JSON()
@@ -424,6 +452,7 @@ func TestTableJSON(t *testing.T) {
 }
 
 func TestSchedulesTable(t *testing.T) {
+	t.Parallel()
 	tab := NewStack(1).Schedules(16)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -443,6 +472,7 @@ func TestSchedulesTable(t *testing.T) {
 }
 
 func TestTaskGranularityShape(t *testing.T) {
+	t.Parallel()
 	tab := KNLStack(1).TaskGranularity(16)
 	if len(tab.Rows) != 9 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -464,6 +494,10 @@ func TestTaskGranularityShape(t *testing.T) {
 }
 
 func TestFig3SweepScaleDecay(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("skipping 10s+ heartbeat scale sweep in -short mode")
+	}
 	tab := NewStack(16).Fig3Sweep(20)
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -479,5 +513,59 @@ func TestFig3SweepScaleDecay(t *testing.T) {
 	if cell(t, tab, 4, 2) >= cell(t, tab, 1, 2) {
 		t.Fatalf("linux rate did not decay with scale: %v -> %v",
 			cell(t, tab, 1, 2), cell(t, tab, 4, 2))
+	}
+}
+
+// TestParallelDeterminism verifies the tentpole guarantee: for the same
+// seed, the parallel runner produces byte-identical encoded tables at
+// any worker count, because each cell's machine and RNG derive only from
+// the seed and cell index (pre-split, canonical assembly order).
+func TestParallelDeterminism(t *testing.T) {
+	t.Parallel()
+	drivers := []struct {
+		name string
+		gen  func(s *Stack) *Table
+	}{
+		{"fig3", func(s *Stack) *Table {
+			cfg := DefaultFig3Config()
+			cfg.Items = 400_000
+			return s.Fig3(cfg)
+		}},
+		{"fig3-overheads", func(s *Stack) *Table {
+			cfg := DefaultFig3Config()
+			cfg.Items = 400_000
+			return s.Fig3Overheads(cfg)
+		}},
+		{"carat", (*Stack).CARAT},
+		{"fig7-ablation", (*Stack).AblationSharingClasses},
+		{"virtine", (*Stack).Virtines},
+		{"fig6", func(s *Stack) *Table {
+			return s.Fig6(Fig6Config{CPUCounts: []int{2, 8}, Kernels: DefaultFig6Config().Kernels, Steps: 2})
+		}},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			stack := func(par int) *Stack {
+				var s *Stack
+				switch d.name {
+				case "fig7-ablation":
+					s = ServerStack()
+				case "fig6":
+					s = KNLStack(1)
+				default:
+					s = NewStack(16)
+				}
+				s.Parallel = par
+				return s
+			}
+			seq := d.gen(stack(1)).JSON()
+			for _, par := range []int{2, 8} {
+				if got := d.gen(stack(par)).JSON(); got != seq {
+					t.Fatalf("parallel=%d output differs from sequential:\n%s\n---\n%s", par, got, seq)
+				}
+			}
+		})
 	}
 }

@@ -38,17 +38,27 @@ func (s *Stack) Fig3(cfg Fig3Config) *Table {
 		Title:  fmt.Sprintf("Achieved vs target heartbeat rate (%d CPUs)", cfg.CPUs),
 		Header: []string{"substrate", "target ♥", "target rate/Mcyc", "achieved rate/Mcyc", "achieved/target", "gap CV"},
 	}
+	type cell struct {
+		us  float64
+		sub heartbeat.Substrate
+	}
+	var cs []cell
 	for _, us := range cfg.PeriodsUS {
-		period := s.Model.MicrosToCycles(us)
-		target := 1e6 / float64(period)
 		for _, sub := range []heartbeat.Substrate{heartbeat.SubstrateNautilusIPI, heartbeat.SubstrateLinuxSignals} {
-			rt := s.heartbeatRun(cfg, sub, period)
-			rates := rt.AchievedRates()
-			achieved := stats.Mean(rates)
-			cv := stats.CoefVar(rt.InterBeatGaps())
-			t.AddRow(sub.String(), fmt.Sprintf("%.0fµs", us),
-				f1(target), f1(achieved), f2(achieved/target), f2(cv))
+			cs = append(cs, cell{us, sub})
 		}
+	}
+	for _, row := range runCells(s, len(cs), func(i int) []string {
+		c := cs[i]
+		period := s.Model.MicrosToCycles(c.us)
+		target := 1e6 / float64(period)
+		rt := s.heartbeatRun(cfg, c.sub, period)
+		achieved := stats.Mean(rt.AchievedRates())
+		cv := stats.CoefVar(rt.InterBeatGaps())
+		return []string{c.sub.String(), fmt.Sprintf("%.0fµs", c.us),
+			f1(target), f1(achieved), f2(achieved / target), f2(cv)}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: Nautilus hits the target with a consistent, stable rate at both 100µs and 20µs; the best Linux mechanism cannot sustain the rate even at 100µs and 16 CPUs")
 	return t
@@ -64,17 +74,20 @@ func (s *Stack) Fig3Overheads(cfg Fig3Config) *Table {
 		Header: []string{"substrate", "overhead", "promotions", "completion (Mcyc)"},
 	}
 	period := s.Model.MicrosToCycles(100)
-	for _, sub := range []heartbeat.Substrate{
+	subs := []heartbeat.Substrate{
 		heartbeat.SubstrateNautilusIPI,
 		heartbeat.SubstrateLinuxPolling,
-	} {
-		rt := s.heartbeatRun(cfg, sub, period)
+	}
+	for _, row := range runCells(s, len(subs), func(i int) []string {
+		rt := s.heartbeatRun(cfg, subs[i], period)
 		var promos int64
-		for i := 0; i < rt.NumWorkers(); i++ {
-			promos += rt.WorkerStats(i).Promotions
+		for w := 0; w < rt.NumWorkers(); w++ {
+			promos += rt.WorkerStats(w).Promotions
 		}
-		t.AddRow(sub.String(), pct(rt.OverheadFraction()), i64(promos),
-			f1(float64(rt.DoneAt())/1e6))
+		return []string{subs[i].String(), pct(rt.OverheadFraction()), i64(promos),
+			f1(float64(rt.DoneAt()) / 1e6)}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: scheduling overheads are 13-22%% on Linux, and reduce to at most 4.9%% in Nautilus")
 	return t
@@ -103,18 +116,21 @@ func (s *Stack) Fig3Sweep(periodUS float64) *Table {
 		Title:  fmt.Sprintf("Heartbeat rate vs CPU count (♥ = %.0fµs)", periodUS),
 		Header: []string{"CPUs", "nautilus achieved/target", "linux achieved/target"},
 	}
-	for _, cpus := range []int{8, 16, 32, 64, 128} {
+	cpuCounts := []int{8, 16, 32, 64, 128}
+	subs := []heartbeat.Substrate{heartbeat.SubstrateNautilusIPI, heartbeat.SubstrateLinuxSignals}
+	// One cell per (CPU count, substrate) point; rows are assembled from
+	// the index-ordered results, so output is identical at any pool width.
+	ratios := runCells(s, len(cpuCounts)*len(subs), func(i int) string {
 		cfg := DefaultFig3Config()
-		cfg.CPUs = cpus
+		cfg.CPUs = cpuCounts[i/len(subs)]
 		cfg.Items = 1_500_000
 		period := s.Model.MicrosToCycles(periodUS)
 		target := 1e6 / float64(period)
-		row := []string{i64(int64(cpus))}
-		for _, sub := range []heartbeat.Substrate{heartbeat.SubstrateNautilusIPI, heartbeat.SubstrateLinuxSignals} {
-			rt := s.heartbeatRun(cfg, sub, period)
-			row = append(row, f2(stats.Mean(rt.AchievedRates())/target))
-		}
-		t.AddRow(row...)
+		rt := s.heartbeatRun(cfg, subs[i%len(subs)], period)
+		return f2(stats.Mean(rt.AchievedRates()) / target)
+	})
+	for ci, cpus := range cpuCounts {
+		t.AddRow(i64(int64(cpus)), ratios[ci*len(subs)], ratios[ci*len(subs)+1])
 	}
 	t.AddNote("below ~32 CPUs the kernel timer floor binds; beyond it the pacer's serialized per-worker signaling compounds, while the LAPIC broadcast holds the target at every scale")
 	return t

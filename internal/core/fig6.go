@@ -36,26 +36,46 @@ func (s *Stack) Fig6(cfg Fig6Config) *Table {
 		Title:  "Kernel OpenMP performance relative to Linux (KNL-like)",
 		Header: []string{"kernel", "CPUs", "linux (Mcyc)", "RTK", "PIK", "CCK"},
 	}
-	var rtkRatios, pikRatios []float64
+	type cell struct {
+		k    workloads.NASKernel
+		cpus int
+	}
+	var cs []cell
 	for _, k := range cfg.Kernels {
 		if cfg.Steps > 0 {
 			k.Steps = cfg.Steps
 		}
 		for _, cpus := range cfg.CPUCounts {
-			base := s.ompRun(omp.ModeLinux, cpus, k)
-			rtk := s.ompRun(omp.ModeRTK, cpus, k)
-			pik := s.ompRun(omp.ModePIK, cpus, k)
-			cck := s.ompRun(omp.ModeCCK, cpus, k)
-			rRTK := float64(base) / float64(rtk)
-			rPIK := float64(base) / float64(pik)
-			rCCK := float64(base) / float64(cck)
-			if cpus > 1 {
-				rtkRatios = append(rtkRatios, rRTK)
-				pikRatios = append(pikRatios, rPIK)
-			}
-			t.AddRow(k.Name, i64(int64(cpus)), f1(float64(base)/1e6),
-				f2(rRTK), f2(rPIK), f2(rCCK))
+			cs = append(cs, cell{k, cpus})
 		}
+	}
+	type res struct {
+		base             int64
+		rRTK, rPIK, rCCK float64
+	}
+	var rtkRatios, pikRatios []float64
+	// One cell per (kernel, CPU count): the four runtime modes run on
+	// the cell's own machines.
+	results := runCells(s, len(cs), func(i int) res {
+		c := cs[i]
+		base := s.ompRun(omp.ModeLinux, c.cpus, c.k)
+		rtk := s.ompRun(omp.ModeRTK, c.cpus, c.k)
+		pik := s.ompRun(omp.ModePIK, c.cpus, c.k)
+		cck := s.ompRun(omp.ModeCCK, c.cpus, c.k)
+		return res{
+			base: base,
+			rRTK: float64(base) / float64(rtk),
+			rPIK: float64(base) / float64(pik),
+			rCCK: float64(base) / float64(cck),
+		}
+	})
+	for i, r := range results {
+		if cs[i].cpus > 1 {
+			rtkRatios = append(rtkRatios, r.rRTK)
+			pikRatios = append(pikRatios, r.rPIK)
+		}
+		t.AddRow(cs[i].k.Name, i64(int64(cs[i].cpus)), f1(float64(r.base)/1e6),
+			f2(r.rRTK), f2(r.rPIK), f2(r.rCCK))
 	}
 	t.AddNote("RTK geomean gain %s, PIK geomean gain %s (paper: ~22%% RTK geomean on KNL; PIK performs similarly; CCK not easily summarized)",
 		pct(stats.GeoMean(rtkRatios)-1), pct(stats.GeoMean(pikRatios)-1))

@@ -18,16 +18,24 @@ func (s *Stack) Fig7() *Table {
 		Title:  "Selective coherence deactivation (2 x 12-core server)",
 		Header: []string{"benchmark", "speedup", "energy reduction", "deactivated accesses"},
 	}
+	benches := workloads.PBBS()
+	type res struct {
+		sp, es, frac float64
+	}
 	var speedups, energySavings []float64
-	for _, b := range workloads.PBBS() {
-		base := s.coherenceRun(b, false, 0)
-		fast := s.coherenceRun(b, true, 0)
-		sp := float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles())
-		es := 1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ
-		speedups = append(speedups, sp)
-		energySavings = append(energySavings, es)
-		frac := float64(fast.Stats.DeactivatedAcc) / float64(fast.Stats.Accesses)
-		t.AddRow(b.Name, f2(sp), pct(es), pct(frac))
+	results := runCells(s, len(benches), func(i int) res {
+		base := s.coherenceRun(benches[i], false, 0)
+		fast := s.coherenceRun(benches[i], true, 0)
+		return res{
+			sp:   float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles()),
+			es:   1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ,
+			frac: float64(fast.Stats.DeactivatedAcc) / float64(fast.Stats.Accesses),
+		}
+	})
+	for i, r := range results {
+		speedups = append(speedups, r.sp)
+		energySavings = append(energySavings, r.es)
+		t.AddRow(benches[i].Name, f2(r.sp), pct(r.es), pct(r.frac))
 	}
 	t.AddRow("average", f2(stats.Mean(speedups)), pct(stats.Mean(energySavings)), "")
 	t.AddNote("paper: average speedup ~46%%, interconnect energy reduced ~53%% (scenario of Fig. 7)")
@@ -43,18 +51,36 @@ func (s *Stack) Fig7Sweep() *Table {
 		Title:  "Deactivation benefit vs scale and disaggregation",
 		Header: []string{"cores", "remote-latency x", "avg speedup", "avg energy reduction"},
 	}
-	for _, cores := range []int{8, 16, 24, 48} {
-		for _, latX := range []int64{1, 4} {
-			var sps, ens []float64
-			for _, b := range workloads.PBBS() {
-				base := s.coherenceRunScaled(b, false, cores, latX)
-				fast := s.coherenceRunScaled(b, true, cores, latX)
-				sps = append(sps, float64(base.Stats.SumCycles())/float64(fast.Stats.SumCycles()))
-				ens = append(ens, 1-fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ)
-			}
-			t.AddRow(i64(int64(cores)), fmt.Sprintf("%dx", latX),
-				f2(stats.Mean(sps)), pct(stats.Mean(ens)))
+	coreCounts := []int{8, 16, 24, 48}
+	latencies := []int64{1, 4}
+	benches := workloads.PBBS()
+	type point struct {
+		sp, en float64
+	}
+	// One cell per (cores, latency, benchmark) triple — the sweep's full
+	// cross product runs concurrently and is averaged in canonical order.
+	nPer := len(benches)
+	nCfg := len(coreCounts) * len(latencies)
+	pts := runCells(s, nCfg*nPer, func(i int) point {
+		cfgIdx, b := i/nPer, benches[i%nPer]
+		cores := coreCounts[cfgIdx/len(latencies)]
+		latX := latencies[cfgIdx%len(latencies)]
+		base := s.coherenceRunScaled(b, false, cores, latX)
+		fast := s.coherenceRunScaled(b, true, cores, latX)
+		return point{
+			sp: float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles()),
+			en: 1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ,
 		}
+	})
+	for cfgIdx := 0; cfgIdx < nCfg; cfgIdx++ {
+		var sps, ens []float64
+		for _, p := range pts[cfgIdx*nPer : (cfgIdx+1)*nPer] {
+			sps = append(sps, p.sp)
+			ens = append(ens, p.en)
+		}
+		t.AddRow(i64(int64(coreCounts[cfgIdx/len(latencies)])),
+			fmt.Sprintf("%dx", latencies[cfgIdx%len(latencies)]),
+			f2(stats.Mean(sps)), pct(stats.Mean(ens)))
 	}
 	t.AddNote("higher remote latency models disaggregated memory; deactivation's benefit grows with both scale and distance")
 	return t
@@ -69,21 +95,33 @@ func (s *Stack) AblationSharingClasses() *Table {
 		Header: []string{"classes deactivated", "speedup", "energy reduction"},
 	}
 	b := workloads.PBBS()[0] // histogram
-	base := s.coherenceRun(b, false, 0)
-	full := s.coherenceRun(b, true, 0)
-	t.AddRow("all", f2(float64(base.Stats.SumCycles())/float64(full.Stats.SumCycles())),
-		pct(1-full.Stats.InterconnectPJ/base.Stats.InterconnectPJ))
-	// The per-class ablation reuses the same trace but reclassifies
-	// regions: handled by filtering inside a custom run below.
-	for _, keep := range []coherence.SharingClass{
+	classes := []coherence.SharingClass{
 		coherence.ClassPrivate, coherence.ClassReadOnly, coherence.ClassProducerConsumer,
-	} {
-		sys := s.newCoherenceSystem(true, 0, 0)
-		sys.FilterClass = keep
-		b.Run(sys, b.Scale, s.Seed)
-		sp := float64(base.Stats.SumCycles()) / float64(sys.Stats.SumCycles())
-		es := 1 - sys.Stats.InterconnectPJ/base.Stats.InterconnectPJ
-		t.AddRow("only "+keep.String(), f2(sp), pct(es))
+	}
+	// Cells: baseline, full deactivation, then one per kept class. The
+	// per-class ablation reuses the same trace but reclassifies regions,
+	// handled by filtering inside each run.
+	systems := runCells(s, 2+len(classes), func(i int) *coherence.System {
+		switch i {
+		case 0:
+			return s.coherenceRun(b, false, 0)
+		case 1:
+			return s.coherenceRun(b, true, 0)
+		default:
+			sys := s.newCoherenceSystem(true, 0, 0)
+			sys.FilterClass = classes[i-2]
+			b.Run(sys, b.Scale, s.Seed)
+			return sys
+		}
+	})
+	base := systems[0]
+	for i, sys := range systems[1:] {
+		label := "all"
+		if i > 0 {
+			label = "only " + classes[i-1].String()
+		}
+		t.AddRow(label, f2(float64(base.Stats.SumCycles())/float64(sys.Stats.SumCycles())),
+			pct(1-sys.Stats.InterconnectPJ/base.Stats.InterconnectPJ))
 	}
 	return t
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exp"
 	"repro/internal/ir"
+	"repro/internal/sim"
 	"repro/internal/virtine"
 )
 
@@ -65,16 +67,28 @@ func (s *Stack) Virtines() *Table {
 	t.AddRow("baseline container", s.us(w.ContainerBaselineCycles()), "", "", "")
 
 	// Service under load: Poisson arrivals at one request per 150 µs,
-	// 10 µs of function work, per-request isolation.
+	// 10 µs of function work, per-request isolation. The pooled-virtine
+	// and fork/exec simulations are independent cells: each gets a
+	// generator pre-split from the stack seed in index order, so the
+	// results are bit-identical at any pool width.
 	svc := virtine.ServiceConfig{
-		ArrivalMeanCycles: 150_000, Requests: 4000, ExecCycles: 10_000, Seed: s.Seed,
+		ArrivalMeanCycles: 150_000, Requests: 4000, ExecCycles: 10_000,
 	}
 	pooled := svc
 	pooled.StartupCycles = s.Model.Virtine.PoolHandoff
 	fork := svc
 	fork.StartupCycles = w.ProcessBaselineCycles()
-	rp := virtine.SimulateService(pooled)
-	rf := virtine.SimulateService(fork)
+	cfgs := []virtine.ServiceConfig{pooled, fork}
+	svcRes, err := exp.MapRNG(s.pool(), sim.NewRNG(s.Seed), len(cfgs),
+		func(i int, rng *sim.RNG) (virtine.ServiceResult, error) {
+			c := cfgs[i]
+			c.RNG = rng
+			return virtine.SimulateService(c), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	rp, rf := svcRes[0], svcRes[1]
 	t.AddRow("service p99 (pooled virtines)", s.us(int64(rp.Latency.P99)), "", "",
 		fmt.Sprintf("util %.0f%%", rp.Utilization*100))
 	t.AddRow("service p99 (fork/exec)", s.us(int64(rf.Latency.P99)), "", "",

@@ -84,8 +84,10 @@ func (d *Deque) PopBottom() *Frame {
 	if d.Len() == 0 {
 		return nil
 	}
-	f := d.items[len(d.items)-1]
-	d.items = d.items[:len(d.items)-1]
+	last := len(d.items) - 1
+	f := d.items[last]
+	d.items[last] = nil // release the slot so popped frames are collectable
+	d.items = d.items[:last]
 	d.Pops++
 	d.compact()
 	return f

@@ -11,6 +11,7 @@ import (
 )
 
 func TestFrameSplit(t *testing.T) {
+	t.Parallel()
 	f := &Frame{Lo: 0, Hi: 100, CyclesPerItem: 10, Grain: 8}
 	if !f.Splittable() {
 		t.Fatal("should be splittable")
@@ -26,6 +27,7 @@ func TestFrameSplit(t *testing.T) {
 }
 
 func TestSplitAboveRespectsFloor(t *testing.T) {
+	t.Parallel()
 	f := &Frame{Lo: 0, Hi: 100, Grain: 4}
 	u := f.SplitAbove(60)
 	if u == nil {
@@ -45,6 +47,7 @@ func TestSplitAboveRespectsFloor(t *testing.T) {
 }
 
 func TestSplitConservesItemsProperty(t *testing.T) {
+	t.Parallel()
 	check := func(hi uint16, floorRaw uint16, grain uint8) bool {
 		h := int64(hi)%1000 + 2
 		g := int64(grain)%20 + 1
@@ -63,6 +66,7 @@ func TestSplitConservesItemsProperty(t *testing.T) {
 }
 
 func TestDequeOrdering(t *testing.T) {
+	t.Parallel()
 	d := NewDeque()
 	f1 := &Frame{Lo: 1}
 	f2 := &Frame{Lo: 2}
@@ -90,6 +94,7 @@ func TestDequeOrdering(t *testing.T) {
 }
 
 func TestDequeCompaction(t *testing.T) {
+	t.Parallel()
 	d := NewDeque()
 	for i := 0; i < 200; i++ {
 		d.PushBottom(&Frame{Lo: int64(i)})
@@ -114,6 +119,7 @@ func newRuntime(cpus int, cfg Config) *Runtime {
 }
 
 func TestRunCompletesAllWork(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	rt := newRuntime(4, cfg)
 	rt.Run(100_000, 50, 32)
@@ -130,6 +136,7 @@ func TestRunCompletesAllWork(t *testing.T) {
 }
 
 func TestHeartbeatPromotesParallelism(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.PeriodCycles = 20_000
 	rt := newRuntime(8, cfg)
@@ -156,6 +163,7 @@ func TestHeartbeatPromotesParallelism(t *testing.T) {
 }
 
 func TestParallelSpeedup(t *testing.T) {
+	t.Parallel()
 	run := func(cpus int) int64 {
 		cfg := DefaultConfig()
 		cfg.PeriodCycles = 20_000
@@ -172,6 +180,7 @@ func TestParallelSpeedup(t *testing.T) {
 }
 
 func TestNautilusHitsTargetRate(t *testing.T) {
+	t.Parallel()
 	// §IV-B / Fig. 3: Nautilus hits the target heartbeat rate with a
 	// consistent, stable period even at ♥ = 20 µs and 16 CPUs.
 	cfg := DefaultConfig()
@@ -193,6 +202,10 @@ func TestNautilusHitsTargetRate(t *testing.T) {
 }
 
 func TestLinuxSignalsCollapseAt20us(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("skipping 16-CPU signal-collapse run in -short mode")
+	}
 	// Fig. 3: the best Linux signal mechanism cannot sustain ♥ = 20 µs
 	// at 16 CPUs — the achieved rate falls far below target.
 	mk := func(substrate Substrate) float64 {
@@ -216,6 +229,10 @@ func TestLinuxSignalsCollapseAt20us(t *testing.T) {
 }
 
 func TestLinuxSignalsUnstableAt100us(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("skipping long-horizon signal-jitter run in -short mode")
+	}
 	// Fig. 3 right panel: even at ♥ = 100 µs Linux cannot deliver a
 	// consistent rate (high inter-beat variance), while Nautilus can.
 	mk := func(substrate Substrate) float64 {
@@ -237,6 +254,7 @@ func TestLinuxSignalsUnstableAt100us(t *testing.T) {
 }
 
 func TestOverheadNautilusVsLinuxPolling(t *testing.T) {
+	t.Parallel()
 	// §IV-B: scheduling overheads are 13–22% on Linux and at most 4.9%
 	// in Nautilus (at ♥ = 100 µs).
 	mk := func(substrate Substrate) float64 {
@@ -261,6 +279,7 @@ func TestOverheadNautilusVsLinuxPolling(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	t.Parallel()
 	run := func() (int64, int64) {
 		cfg := DefaultConfig()
 		cfg.PeriodCycles = 30_000
@@ -280,9 +299,25 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestSubstrateString(t *testing.T) {
+	t.Parallel()
 	if SubstrateNautilusIPI.String() != "nautilus-ipi" ||
 		SubstrateLinuxSignals.String() != "linux-signals" ||
 		SubstrateLinuxPolling.String() != "linux-polling" {
 		t.Fatal("substrate names wrong")
+	}
+}
+
+func TestPopBottomReleasesSlot(t *testing.T) {
+	t.Parallel()
+	d := NewDeque()
+	d.PushBottom(&Frame{Lo: 1})
+	d.PushBottom(&Frame{Lo: 2})
+	if d.PopBottom() == nil {
+		t.Fatal("pop failed")
+	}
+	// The vacated backing-array slot must be nil so the popped *Frame is
+	// collectable (StealTop already does this at the thief end).
+	if got := d.items[:2][1]; got != nil {
+		t.Fatalf("PopBottom retained pointer in vacated slot: %+v", got)
 	}
 }

@@ -45,7 +45,7 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.bounded(uint64(n)))
 }
 
 // Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
@@ -53,7 +53,23 @@ func (r *RNG) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
 	}
-	return int64(r.Uint64() % uint64(n))
+	return int64(r.bounded(uint64(n)))
+}
+
+// bounded returns a uniform value in [0, n) by bounded retry: the top
+// 2^64 mod n values of the draw space would over-weight the low residue
+// classes under plain v % n, so draws landing there are rejected and
+// retried. Accepted draws keep the v % n mapping, so for small n (where
+// the rejection band is vanishingly thin) the output stream is the
+// unbiased common case of the old modulo reduction.
+func (r *RNG) bounded(n uint64) uint64 {
+	thresh := -n % n // 2^64 mod n
+	max := ^uint64(0) - thresh
+	v := r.Uint64()
+	for v > max {
+		v = r.Uint64()
+	}
+	return v % n
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -156,3 +156,60 @@ func TestShufflePreservesMultiset(t *testing.T) {
 		t.Fatalf("shuffle changed contents: %v", xs)
 	}
 }
+
+func TestIntnDeterministicGolden(t *testing.T) {
+	// The bounded-retry fix preserves the v % n mapping of accepted
+	// draws, so for small n the stream matches the pre-fix generator.
+	r := NewRNG(42)
+	got := make([]int, 8)
+	for i := range got {
+		got[i] = r.Intn(100)
+	}
+	want := []int{13, 91, 58, 64, 50, 62, 25, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Intn stream[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestInt63nNoModuloBias(t *testing.T) {
+	// n = 3<<61 makes the rejection region a quarter of the 64-bit draw
+	// space: plain v % n would land in [0, 1<<61) with probability 3/8
+	// instead of the uniform 1/3. The bounded retry must restore 1/3.
+	const n = int64(3) << 61
+	r := NewRNG(17)
+	const samples = 200000
+	low := 0
+	for i := 0; i < samples; i++ {
+		v := r.Int63n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if v < 1<<61 {
+			low++
+		}
+	}
+	frac := float64(low) / samples
+	// Uniform: 1/3 ≈ 0.3333 (sd ≈ 0.0011). Biased modulo: 3/8 = 0.375.
+	if math.Abs(frac-1.0/3) > 0.01 {
+		t.Fatalf("P(v < n/3) = %.4f, want ~0.3333 (0.375 means modulo bias)", frac)
+	}
+}
+
+func TestIntnLargeNMeanUnbiased(t *testing.T) {
+	// Same bias check through Intn on a large half-open range: the
+	// biased reduction drags the mean below n/2.
+	const n = int(3) << 61
+	r := NewRNG(23)
+	const samples = 200000
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += float64(r.Intn(n)) / float64(n)
+	}
+	mean := sum / samples
+	// Uniform mean 0.5; biased modulo gives ~0.4583.
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("normalized mean = %.4f, want ~0.5", mean)
+	}
+}

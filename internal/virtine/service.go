@@ -19,6 +19,11 @@ type ServiceConfig struct {
 	// StartupCycles is the per-request isolation start-up cost.
 	StartupCycles int64
 	Seed          uint64
+	// RNG, when non-nil, supplies the arrival randomness directly and
+	// Seed is ignored. A parallel runner pre-splits one generator per
+	// simulation (exp.MapRNG) so results are independent of goroutine
+	// scheduling.
+	RNG *sim.RNG
 }
 
 // ServiceResult summarizes a run.
@@ -31,7 +36,10 @@ type ServiceResult struct {
 // SimulateService runs an M/D/1-style simulation of the service: one
 // execution context at a time (Wasp serializes per core), FIFO queue.
 func SimulateService(cfg ServiceConfig) ServiceResult {
-	rng := sim.NewRNG(cfg.Seed)
+	rng := cfg.RNG
+	if rng == nil {
+		rng = sim.NewRNG(cfg.Seed)
+	}
 	arrival := sim.Exponential{Offset: 0, MeanExp: cfg.ArrivalMeanCycles}
 
 	service := cfg.StartupCycles + cfg.ExecCycles
