@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build vet test short race bench all check
+.PHONY: build vet lint test short race bench all check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static memory-safety lint over the shipped IR modules (examples +
+# CARAT kernel suite); non-zero exit on any diagnostic.
+lint:
+	$(GO) run ./cmd/interweave lint examples/... kernels/...
 
 test:
 	$(GO) test ./...
@@ -26,4 +31,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet race
+check: build vet lint race

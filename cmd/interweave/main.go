@@ -32,12 +32,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/workloads"
 )
 
 // allExperiments is the canonical experiment order for `interweave all`.
@@ -53,6 +57,9 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "lint" {
+		os.Exit(runLint(os.Args[2:]))
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	overheads := fs.Bool("overheads", false, "fig3: also print scheduling overheads")
 	granularity := fs.Bool("granularity", false, "fig4: also print granularity floors")
@@ -176,6 +183,92 @@ func main() {
 	print(run(cmd))
 }
 
+// runLint is the `interweave lint` subcommand: run the static
+// memory-safety linter (internal/analysis) over named IR modules.
+// Patterns name modules from the registry exactly, or with a `...`
+// suffix as a prefix match (`kernels/...`). With no patterns it checks
+// everything that ships — the example compiler module and the CARAT
+// kernels — all of which must be clean; the seeded `buggy/...` modules
+// are reachable only by explicit pattern. Returns 2 on usage errors,
+// 1 when any diagnostic is reported, 0 when clean.
+func runLint(argv []string) int {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
+	list := fs.Bool("list", false, "list lintable module names and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: interweave lint [-json] [-list] [pattern ...]
+
+Lints IR modules with the internal/analysis memory-safety checker:
+use-before-def, dead stores, use-after-free, double-free, leaks,
+unreachable blocks. A pattern is a module name, or a prefix ending in
+"..." (e.g. kernels/...). Default patterns: examples/... kernels/...
+Seeded demonstration bugs live under buggy/...`)
+	}
+	_ = fs.Parse(argv)
+
+	targets := workloads.LintTargets()
+	targets = append(targets, workloads.BuggySuite()...)
+	if *list {
+		for _, t := range targets {
+			fmt.Println(t.Name)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"examples/...", "kernels/..."}
+	}
+	match := func(name string) bool {
+		for _, p := range patterns {
+			if pre, ok := strings.CutSuffix(p, "..."); ok {
+				if strings.HasPrefix(name, pre) {
+					return true
+				}
+			} else if name == p {
+				return true
+			}
+		}
+		return false
+	}
+
+	checked, total := 0, 0
+	for _, t := range targets {
+		if !match(t.Name) {
+			continue
+		}
+		checked++
+		diags := analysis.Lint(t.Mod, t.Extern)
+		total += len(diags)
+		for _, d := range diags {
+			if *jsonOut {
+				buf, err := json.Marshal(struct {
+					Target string `json:"target"`
+					analysis.Diag
+				}{t.Name, d})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 2
+				}
+				fmt.Println(string(buf))
+			} else {
+				fmt.Printf("%s: %s\n", t.Name, d)
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "lint: no modules match %v (try -list)\n", patterns)
+		return 2
+	}
+	if !*jsonOut {
+		fmt.Printf("lint: %d module(s), %d diagnostic(s)\n", checked, total)
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: interweave <experiment> [flags]
 
@@ -195,6 +288,10 @@ experiments:
   paging      §I/III translation-regime overheads (motivation)
   tasks       §IV-C  fine-grain task viability by runtime mode
   all                everything above with all sub-reports
+
+tools:
+  lint        static memory-safety linter over the IR modules
+              (interweave lint -h for details)
 
 flags:
   -parallel N  max concurrent experiment cells; 0 (default) uses

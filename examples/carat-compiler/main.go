@@ -1,8 +1,10 @@
 // CARAT compiler example: watch the interweaving passes transform a
 // kernel. The program builds a small array-sum function, prints the IR,
 // injects CARAT guards and tracking, prints it again, hoists the guards
-// out of the loop, prints the final IR, and executes all three versions
-// to show the overhead collapse (§IV-A).
+// out of the loop, then lets the dataflow layer delete the checks it can
+// prove redundant, and executes all four versions to show the overhead
+// collapse (§IV-A). The same module is what `interweave lint
+// examples/...` checks statically.
 //
 //	go run ./examples/carat-compiler
 package main
@@ -15,27 +17,11 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/passes"
+	"repro/internal/workloads"
 )
 
 func buildKernel() *ir.Module {
-	m := ir.NewModule("demo")
-	f := m.NewFunction("sumsq", 0)
-	b := ir.NewBuilder(f)
-	const n = 2048
-	eight := b.Const(8)
-	arr := b.Alloc(n * 8)
-	b.CountingLoop(0, n, 1, func(i ir.Reg) {
-		v := b.Mul(i, i)
-		b.Store(b.Add(arr, b.Mul(i, eight)), 0, v)
-	})
-	sum := b.Const(0)
-	b.CountingLoop(0, n, 1, func(i ir.Reg) {
-		v := b.Load(b.Add(arr, b.Mul(i, eight)), 0)
-		b.MovTo(sum, b.Add(sum, v))
-	})
-	b.Free(arr)
-	b.Ret(sum)
-	return m
+	return workloads.SumsqDemo()
 }
 
 func run(m *ir.Module) (uint64, int64, int64) {
@@ -85,16 +71,28 @@ func main() {
 	printExcerpt(hoisted.Funcs["sumsq"], 18)
 	hoistVal, hoistCyc, hoistGuards := run(hoisted)
 
-	if baseVal != naiveVal || naiveVal != hoistVal {
+	elim := buildKernel()
+	e := &passes.CARATElim{}
+	if err := passes.RunAll(elim, &passes.CARATInject{}, &passes.CARATHoist{}, e); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n--- after carat-elim: %d guards deleted (%d region), %d escapes deleted ---\n",
+		e.GuardsRemoved, e.RegionRemoved, e.EscapesRemoved)
+	printExcerpt(elim.Funcs["sumsq"], 18)
+	elimVal, elimCyc, elimGuards := run(elim)
+
+	if baseVal != naiveVal || naiveVal != hoistVal || hoistVal != elimVal {
 		panic("instrumentation changed semantics!")
 	}
-	fmt.Printf("\nresult %d in all three versions\n", baseVal)
+	fmt.Printf("\nresult %d in all four versions\n", baseVal)
 	fmt.Printf("%-10s %12s %14s %10s\n", "version", "cycles", "dyn guards", "overhead")
 	fmt.Printf("%-10s %12d %14s %10s\n", "base", baseCyc, "-", "-")
 	fmt.Printf("%-10s %12d %14d %9.1f%%\n", "naive", naiveCyc, naiveGuards,
 		100*float64(naiveCyc-baseCyc)/float64(baseCyc))
 	fmt.Printf("%-10s %12d %14d %9.1f%%\n", "hoisted", hoistCyc, hoistGuards,
 		100*float64(hoistCyc-baseCyc)/float64(baseCyc))
+	fmt.Printf("%-10s %12d %14d %9.1f%%\n", "elim", elimCyc, elimGuards,
+		100*float64(elimCyc-baseCyc)/float64(baseCyc))
 }
 
 // printExcerpt prints the first n lines of a function's IR.

@@ -1,0 +1,116 @@
+// Package analysis implements a reusable dataflow framework over
+// internal/ir — a worklist solver on the CFG's reverse postorder with
+// per-instruction transfer functions and bit-vector lattices — plus the
+// concrete analyses built on it (reaching definitions, liveness,
+// definite assignment, guard/allocation availability, and a
+// flow-insensitive may-alias/escape partition) and a memory-safety
+// linter that reports use-before-def, dead stores, use-after-free,
+// double-free, and leaked allocations as structured diagnostics.
+//
+// The framework is the compiler side of the paper's interweaving
+// argument (§IV-A): what CARAT's runtime would check dynamically, the
+// compiler proves statically — and what it can prove, the CARATElim
+// pass in internal/passes deletes.
+package analysis
+
+import "math/bits"
+
+// BitSet is a fixed-universe bit vector; the unit of every dataflow
+// lattice in this package.
+type BitSet struct {
+	n     int
+	words []uint64
+}
+
+// NewBitSet returns an empty set over a universe of n facts.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the universe size.
+func (s *BitSet) Len() int { return s.n }
+
+// Set adds fact i.
+func (s *BitSet) Set(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes fact i.
+func (s *BitSet) Clear(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether fact i is present.
+func (s *BitSet) Has(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Fill adds every fact in the universe.
+func (s *BitSet) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Reset removes every fact.
+func (s *BitSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes the bits past n so Equal and Count stay exact.
+func (s *BitSet) trim() {
+	if s.n&63 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(s.n&63)) - 1
+	}
+}
+
+// Copy returns an independent copy.
+func (s *BitSet) Copy() *BitSet {
+	c := &BitSet{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with o (same universe).
+func (s *BitSet) CopyFrom(o *BitSet) { copy(s.words, o.words) }
+
+// Union adds every fact of o to s.
+func (s *BitSet) Union(o *BitSet) {
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// Intersect removes every fact of s not in o.
+func (s *BitSet) Intersect(o *BitSet) {
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// Equal reports whether s and o hold the same facts.
+func (s *BitSet) Equal(o *BitSet) bool {
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of facts present.
+func (s *BitSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for every present fact, in ascending order.
+func (s *BitSet) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Direction selects which way facts propagate.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet selects the lattice join applied where paths merge.
+type Meet int
+
+// Meet operators: Union for may-analyses (a fact holds on some path),
+// Intersect for must-analyses (a fact holds on every path).
+const (
+	Union Meet = iota
+	Intersect
+)
+
+// Problem is a monotone bit-vector dataflow problem. The solver derives
+// each block's transfer function by applying Transfer to its
+// instructions in execution order (Forward) or reverse order (Backward).
+type Problem interface {
+	Direction() Direction
+	Meet() Meet
+	// NumFacts is the universe size.
+	NumFacts() int
+	// Boundary is the fact set at the function entry (Forward) or at
+	// every exit (Backward).
+	Boundary() *BitSet
+	// Transfer applies one instruction's gen/kill effect to facts in
+	// place.
+	Transfer(b *ir.Block, idx int, in *ir.Instr, facts *BitSet)
+}
+
+// Result holds the per-block fixpoint of a solved problem. In and Out
+// are always in execution order: In is the facts at the block's entry,
+// Out at its exit, regardless of direction. Unreachable blocks (absent
+// from the CFG's RPO) have no entry.
+type Result struct {
+	In, Out map[*ir.Block]*BitSet
+	// Rounds is the number of sweeps over the CFG until the fixpoint;
+	// Converged is false only if the safety cap was hit, which for a
+	// monotone transfer cannot happen (the fuzz tests assert this).
+	Rounds    int
+	Converged bool
+
+	p    Problem
+	info *ir.CFGInfo
+}
+
+// Solve runs the worklist iteration for p over info's reachable blocks.
+// Blocks are swept in reverse postorder (Forward) or postorder
+// (Backward), which for reducible CFGs converges in loop-depth+2
+// sweeps; a cap of len(RPO)+8 sweeps guards against non-monotone
+// transfer bugs.
+func Solve(info *ir.CFGInfo, p Problem) *Result {
+	r := &Result{
+		In:  make(map[*ir.Block]*BitSet),
+		Out: make(map[*ir.Block]*BitSet),
+		p:   p, info: info,
+	}
+	order := info.RPO
+	if p.Direction() == Backward {
+		order = make([]*ir.Block, len(info.RPO))
+		for i, b := range info.RPO {
+			order[len(info.RPO)-1-i] = b
+		}
+	}
+	if len(order) == 0 {
+		r.Converged = true
+		return r
+	}
+
+	// top is the initial value of every non-boundary node: empty for
+	// Union (no fact proven on any path yet), full for Intersect (every
+	// fact vacuously holds until a path refutes it).
+	mkTop := func() *BitSet {
+		s := NewBitSet(p.NumFacts())
+		if p.Meet() == Intersect {
+			s.Fill()
+		}
+		return s
+	}
+	for _, b := range order {
+		r.In[b] = mkTop()
+		r.Out[b] = mkTop()
+	}
+
+	// start/end pick the maps facing the meet and the transfer result
+	// for the solve direction.
+	pre, post := r.In, r.Out // Forward: meet into In, transfer to Out
+	if p.Direction() == Backward {
+		pre, post = r.Out, r.In // Backward: meet into Out, transfer to In
+	}
+
+	maxRounds := len(order) + 8
+	changed := true
+	for changed && r.Rounds < maxRounds {
+		changed = false
+		r.Rounds++
+		for _, b := range order {
+			// Meet over dataflow predecessors. The entry block of a
+			// forward problem meets the boundary value in addition to
+			// any CFG predecessors (the entry can be a loop header).
+			edges := r.flowPreds(b)
+			cur := pre[b]
+			first := true
+			if len(edges) == 0 || (p.Direction() == Forward && b == order[0]) {
+				cur.CopyFrom(p.Boundary())
+				first = false
+			}
+			for _, e := range edges {
+				src, ok := post[e]
+				if !ok {
+					continue
+				}
+				if first {
+					cur.CopyFrom(src)
+					first = false
+				} else if p.Meet() == Union {
+					cur.Union(src)
+				} else {
+					cur.Intersect(src)
+				}
+			}
+			next := r.transferBlock(b, cur)
+			if !next.Equal(post[b]) {
+				post[b].CopyFrom(next)
+				changed = true
+			}
+		}
+	}
+	r.Converged = !changed
+	return r
+}
+
+// flowPreds returns the blocks whose post-facts feed b's meet: CFG
+// predecessors for forward problems, successors for backward ones.
+func (r *Result) flowPreds(b *ir.Block) []*ir.Block {
+	if r.p.Direction() == Forward {
+		return r.info.Preds[b]
+	}
+	return b.Succs()
+}
+
+// transferBlock applies the block's instruction transfers to a copy of
+// in, honoring the problem direction.
+func (r *Result) transferBlock(b *ir.Block, in *BitSet) *BitSet {
+	facts := in.Copy()
+	if r.p.Direction() == Forward {
+		for i, instr := range b.Instrs {
+			r.p.Transfer(b, i, instr, facts)
+		}
+	} else {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			r.p.Transfer(b, i, b.Instrs[i], facts)
+		}
+	}
+	return facts
+}
+
+// Replay visits b's instructions in execution order, passing the fact
+// set holding immediately before instruction idx for forward problems,
+// or immediately after it (e.g. live-out) for backward problems. The
+// set is reused between calls; copy it to retain.
+func (r *Result) Replay(b *ir.Block, visit func(idx int, in *ir.Instr, facts *BitSet)) {
+	if r.p.Direction() == Forward {
+		facts, ok := r.In[b]
+		if !ok {
+			return
+		}
+		cur := facts.Copy()
+		for i, instr := range b.Instrs {
+			visit(i, instr, cur)
+			r.p.Transfer(b, i, instr, cur)
+		}
+		return
+	}
+	out, ok := r.Out[b]
+	if !ok {
+		return
+	}
+	// Backward: compute the after-sets front-to-back by replaying the
+	// suffix transfer for each instruction. O(n²) in block length, but
+	// blocks are short and lint runs offline.
+	for i := range b.Instrs {
+		cur := out.Copy()
+		for j := len(b.Instrs) - 1; j > i; j-- {
+			r.p.Transfer(b, j, b.Instrs[j], cur)
+		}
+		visit(i, b.Instrs[i], cur)
+	}
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// diamond builds:
+//
+//	entry: br p0 ? left : right
+//	left:  x = 5       ; jmp merge
+//	right: (no def of x); jmp merge
+//	merge: ret x
+//
+// and returns the function, the shared register x, and the four blocks.
+func diamond(t *testing.T) (*ir.Function, ir.Reg, []*ir.Block) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := m.NewFunction("d", 1)
+	b := ir.NewBuilder(f)
+	x := f.NewReg()
+	left := b.Block("left")
+	right := b.Block("right")
+	merge := b.Block("merge")
+	b.Br(b.Param(0), left, right)
+	b.SetBlock(left)
+	b.MovTo(x, b.Const(5))
+	b.Jmp(merge)
+	b.SetBlock(right)
+	b.Jmp(merge)
+	b.SetBlock(merge)
+	b.Ret(x)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f, x, []*ir.Block{f.Entry(), left, right, merge}
+}
+
+func TestDiamondDefiniteAssign(t *testing.T) {
+	f, x, blocks := diamond(t)
+	merge := blocks[3]
+	info := ir.AnalyzeCFG(f)
+	res := Solve(info, NewDefiniteAssign(f))
+	if !res.Converged {
+		t.Fatal("solver did not converge")
+	}
+	// x is assigned on the left arm only: the intersect meet at the
+	// merge must drop it, while the parameter survives.
+	if res.In[merge].Has(int(x)) {
+		t.Fatalf("v%d wrongly definitely-assigned at merge", x)
+	}
+	if !res.In[merge].Has(0) {
+		t.Fatal("parameter 0 must be definitely assigned everywhere")
+	}
+	if !res.Out[blocks[1]].Has(int(x)) {
+		t.Fatal("x must be assigned at left's exit")
+	}
+}
+
+func TestDiamondReachingDefsAndLiveness(t *testing.T) {
+	f, x, blocks := diamond(t)
+	left, right, merge := blocks[1], blocks[2], blocks[3]
+	info := ir.AnalyzeCFG(f)
+
+	rd := NewReachingDefs(f)
+	res := Solve(info, rd)
+	if !res.Converged {
+		t.Fatal("solver did not converge")
+	}
+	// Exactly one static def of x (the mov in left, instruction index 1);
+	// the union meet carries it into the merge.
+	ids := rd.DefsOf(x)
+	if len(ids) != 1 {
+		t.Fatalf("DefsOf(x) = %d sites, want 1", len(ids))
+	}
+	if !res.In[merge].Has(ids[0]) {
+		t.Fatal("left's def of x must reach the merge")
+	}
+	if res.In[right].Has(ids[0]) {
+		t.Fatal("left's def cannot reach the right arm")
+	}
+
+	lv := NewLiveness(f)
+	lres := Solve(info, lv)
+	// x is read at the merge's ret: live-in of both arms and of entry
+	// (it is never defined on the right path).
+	if !lres.In[merge].Has(int(x)) {
+		t.Fatal("x must be live into the merge")
+	}
+	if !lres.In[right].Has(int(x)) {
+		t.Fatal("x must be live through the right arm")
+	}
+	if lres.In[left].Has(int(x)) {
+		// The left arm fully redefines x before the use.
+		t.Fatal("x must be dead into the left arm (redefined there)")
+	}
+}
+
+func TestNestedLoopsConverge(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("nest", 0)
+	b := ir.NewBuilder(f)
+	sum := b.Const(0)
+	b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+		b.CountingLoop(0, 4, 1, func(j ir.Reg) {
+			b.CountingLoop(0, 4, 1, func(k ir.Reg) {
+				b.MovTo(sum, b.Add(sum, k))
+			})
+		})
+	})
+	b.Ret(sum)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	info := ir.AnalyzeCFG(f)
+	if len(info.Loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(info.Loops))
+	}
+	for name, p := range map[string]Problem{
+		"reaching":  NewReachingDefs(f),
+		"liveness":  NewLiveness(f),
+		"defassign": NewDefiniteAssign(f),
+	} {
+		res := Solve(info, p)
+		if !res.Converged {
+			t.Fatalf("%s did not converge", name)
+		}
+		// RPO sweeps settle in about loop-depth rounds, far below the
+		// safety cap.
+		if res.Rounds > len(info.RPO) {
+			t.Fatalf("%s took %d rounds over %d blocks", name, res.Rounds, len(info.RPO))
+		}
+	}
+	// The innermost accumulator def must reach the outer loop's header
+	// through three levels of back edges.
+	rd := NewReachingDefs(f)
+	res := Solve(info, rd)
+	var innermost *ir.Loop
+	for _, l := range info.Loops {
+		if innermost == nil || l.Depth > innermost.Depth {
+			innermost = l
+		}
+	}
+	outer := info.Loops[0]
+	for _, l := range info.Loops {
+		if l.Depth < outer.Depth {
+			outer = l
+		}
+	}
+	found := false
+	for _, id := range rd.DefsOf(sum) {
+		s := rd.Sites[id]
+		if s.Block != nil && innermost.Blocks[s.Block] && res.In[outer.Header].Has(id) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("innermost def of sum must reach the outermost header")
+	}
+}
+
+// multiLatch builds a loop whose header has two in-loop back edges:
+//
+//	entry:  g = alloc 64; jmp header
+//	header: br p0 ? body : exit
+//	body:   guard [g+0]; br p0 ? latch1 : latch2
+//	latch1: jmp header
+//	latch2: x = 1; jmp header
+//	exit:   ret
+func multiLatch(t *testing.T) (*ir.Function, *ir.Instr, ir.Reg) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := m.NewFunction("ml", 1)
+	b := ir.NewBuilder(f)
+	g := b.Alloc(64)
+	x := f.NewReg()
+	header := b.Block("header")
+	body := b.Block("body")
+	latch1 := b.Block("latch1")
+	latch2 := b.Block("latch2")
+	exit := b.Block("exit")
+	b.Jmp(header)
+	b.SetBlock(header)
+	b.Br(b.Param(0), body, exit)
+	b.SetBlock(body)
+	guard := &ir.Instr{Op: ir.OpGuard, Dst: ir.NoReg, A: g, B: ir.NoReg}
+	body.Instrs = append(body.Instrs, guard)
+	b.Br(b.Param(0), latch1, latch2)
+	b.SetBlock(latch1)
+	b.Jmp(header)
+	b.SetBlock(latch2)
+	b.MovTo(x, b.Const(1))
+	b.Jmp(header)
+	b.SetBlock(exit)
+	b.Ret(ir.NoReg)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f, guard, x
+}
+
+func TestMultiLatchLoop(t *testing.T) {
+	f, guard, x := multiLatch(t)
+	info := ir.AnalyzeCFG(f)
+	if len(info.Loops) != 1 || len(info.Loops[0].Latches) != 2 {
+		t.Fatalf("want one loop with two latches, got %+v", info.Loops)
+	}
+	header := info.Loops[0].Header
+
+	// Availability: the guard executes on the way to both latches, so it
+	// is available at each latch's exit — but NOT at the header, whose
+	// meet includes the guard-free entry path (first iteration). This
+	// asymmetry is what keeps availability-based elimination sound in
+	// loops.
+	rd := NewReachingDefs(f)
+	alias := AnalyzeAlias(f, rd, Solve(info, rd))
+	av := NewAvailFacts(f, alias)
+	res := Solve(info, av)
+	if !res.Converged {
+		t.Fatal("avail did not converge")
+	}
+	for _, l := range info.Loops[0].Latches {
+		if !av.GuardAvailable(guard, res.Out[l]) {
+			t.Fatalf("guard must be available at latch %s exit", l.Name)
+		}
+	}
+	if av.GuardAvailable(guard, res.In[header]) {
+		t.Fatal("guard must NOT be available at the header (entry path has not checked)")
+	}
+
+	// Reaching defs: latch2's def of x flows around the back edge into
+	// the header; definite assignment rejects it (latch1 path skips it).
+	rres := Solve(info, rd)
+	reached := false
+	for _, id := range rd.DefsOf(x) {
+		if rres.In[header].Has(id) {
+			reached = true
+		}
+	}
+	if !reached {
+		t.Fatal("latch2's def of x must reach the header")
+	}
+	da := Solve(info, NewDefiniteAssign(f))
+	if da.In[header].Has(int(x)) {
+		t.Fatal("x must not be definitely assigned at the header")
+	}
+}
+
+func TestUnreachableCycleIgnoredBySolver(t *testing.T) {
+	f, _, blocks := diamond(t)
+	// A dead two-block cycle: each references the other, so Verify's
+	// no-edge check passes, but no path from entry reaches them.
+	d1 := f.NewBlock("dead1")
+	d2 := f.NewBlock("dead2")
+	d1.Instrs = append(d1.Instrs, &ir.Instr{Op: ir.OpJmp, A: ir.NoReg, B: ir.NoReg, Target: d2})
+	d2.Instrs = append(d2.Instrs, &ir.Instr{Op: ir.OpJmp, A: ir.NoReg, B: ir.NoReg, Target: d1})
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	info := ir.AnalyzeCFG(f)
+	if len(info.RPO) != len(blocks) {
+		t.Fatalf("RPO has %d blocks, want %d reachable", len(info.RPO), len(blocks))
+	}
+	res := Solve(info, NewReachingDefs(f))
+	if !res.Converged {
+		t.Fatal("solver did not converge")
+	}
+	if _, ok := res.In[d1]; ok {
+		t.Fatal("unreachable block must have no solved facts")
+	}
+	visited := false
+	res.Replay(d1, func(int, *ir.Instr, *BitSet) { visited = true })
+	if visited {
+		t.Fatal("Replay over an unreachable block must be a no-op")
+	}
+	// The lint layer is what reports them.
+	diags := LintFunc(f)
+	dead := 0
+	for _, d := range diags {
+		if d.Kind == KindUnreachable {
+			dead++
+		}
+	}
+	if dead != 2 {
+		t.Fatalf("want 2 unreachable-block diags, got %d (%v)", dead, diags)
+	}
+}

@@ -1,0 +1,92 @@
+// Differential test: on the seeded buggy modules, the static linter's
+// diagnostics must be a superset of what the CARAT runtime observes
+// dynamically. The runtime only sees the one path it executes; the
+// linter reasons over all paths, so every dynamic detection must have a
+// static counterpart (the converse need not hold).
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/carat"
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/passes"
+	"repro/internal/workloads"
+)
+
+// dynamicSignals runs a CARAT-instrumented module and reports which bug
+// classes the runtime detected: guard violations (use-after-free),
+// untracked frees (double-free), and live regions at exit (leak). A run
+// that dies in the interpreter's heap (e.g. the second free) counts as
+// a detection of whatever the table recorded up to that point.
+func dynamicSignals(t *testing.T, tgt workloads.NamedModule, args ...uint64) (uaf, dfree, leak bool) {
+	t.Helper()
+	m := tgt.Mod
+	if err := passes.RunAll(m, &passes.CARATInject{}); err != nil {
+		t.Fatalf("%s: inject: %v", tgt.Name, err)
+	}
+	ip, err := interp.New(m)
+	if err != nil {
+		t.Fatalf("%s: %v", tgt.Name, err)
+	}
+	tb := carat.NewTable()
+	ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+	ip.Hooks.GuardRegion = tb.GuardRegion
+	ip.Hooks.TrackAlloc = tb.TrackAlloc
+	ip.Hooks.TrackFree = tb.TrackFree
+	ip.Hooks.TrackEsc = tb.TrackEscape
+	_, runErr := ip.Call(tgt.Entry, args...)
+	if runErr != nil && tb.Violations == 0 && tb.Untracked == 0 {
+		t.Fatalf("%s: run died with no runtime detection: %v", tgt.Name, runErr)
+	}
+	return tb.Violations > 0, tb.Untracked > 0, runErr == nil && tb.Len() > 0
+}
+
+func TestStaticDiagnosticsCoverDynamicDetections(t *testing.T) {
+	// Arguments chosen to drive each buggy module down its buggy path
+	// (leak-conditional leaks when the branch is not taken; use-before-def
+	// reads the unset register when the branch is not taken).
+	args := map[string][]uint64{
+		"buggy/leak-conditional": {0},
+		"buggy/use-before-def":   {0},
+	}
+	for _, tgt := range workloads.BuggySuite() {
+		// Lint the pristine module first: instrumentation below mutates it.
+		diags := analysis.Lint(tgt.Mod, tgt.Extern)
+		kinds := make(map[analysis.Kind]bool)
+		for _, d := range diags {
+			kinds[d.Kind] = true
+		}
+		uaf, dfree, leak := dynamicSignals(t, tgt, args[tgt.Name]...)
+		if uaf && !kinds[analysis.KindUseAfterFree] {
+			t.Errorf("%s: runtime saw a violation but lint has no use-after-free diag (%v)", tgt.Name, diags)
+		}
+		if dfree && !kinds[analysis.KindDoubleFree] {
+			t.Errorf("%s: runtime saw an untracked free but lint has no double-free diag (%v)", tgt.Name, diags)
+		}
+		if leak && !kinds[analysis.KindLeak] {
+			t.Errorf("%s: regions live at exit but lint has no leak diag (%v)", tgt.Name, diags)
+		}
+		if !uaf && !dfree && !leak && len(diags) == 0 {
+			t.Errorf("%s: neither static nor dynamic detection fired", tgt.Name)
+		}
+	}
+}
+
+func TestShippedModulesCleanBothWays(t *testing.T) {
+	// On the clean modules the inclusion is two-sided: no diagnostics and
+	// no runtime detections.
+	for _, tgt := range workloads.LintTargets() {
+		if ds := analysis.Lint(tgt.Mod, tgt.Extern); len(ds) != 0 {
+			t.Errorf("%s: %v", tgt.Name, ds)
+			continue
+		}
+		uaf, dfree, leak := dynamicSignals(t, tgt)
+		if uaf || dfree || leak {
+			t.Errorf("%s: runtime detections on a lint-clean module (uaf=%v dfree=%v leak=%v)",
+				tgt.Name, uaf, dfree, leak)
+		}
+	}
+}

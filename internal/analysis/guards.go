@@ -1,0 +1,282 @@
+package analysis
+
+import "repro/internal/ir"
+
+// AvailFacts is the forward must-analysis behind analysis-driven guard
+// elimination (§IV-A: the compiler proves checks redundant instead of
+// merely hoisting them). Its universe holds three fact families:
+//
+//   - guard availability: an identical carat.guard (same base register,
+//     offset, and region flag) has executed on every path since the
+//     last event that could change its outcome;
+//   - escape availability: an identical carat.track_escape (same
+//     location base, offset, and value register) has executed on every
+//     path — re-recording is idempotent;
+//   - base validity: an OpAlloc's destination register still holds that
+//     allocation's base, and no free or call can have released it — a
+//     guard on such a register provably passes.
+//
+// Kills are conservative: any free, tracked free, or call invalidates
+// every fact (a callee may free arbitrary regions); redefining a
+// register invalidates the facts that mention it.
+type AvailFacts struct {
+	F     *ir.Function
+	Alias *Alias
+
+	guardID map[guardKey]int
+	escID   map[escKey]int
+	// siteFact[s] is the baseValid fact id of allocation site s.
+	siteFact []int
+	// sitesByDst lists site indices per destination register.
+	sitesByDst map[ir.Reg][]int
+	// killByReg lists fact ids invalidated by a write to a register.
+	killByReg map[ir.Reg][]int
+	siteAt    map[*ir.Block]map[int]int
+	numFacts  int
+}
+
+type guardKey struct {
+	a      ir.Reg
+	imm    int64
+	region bool
+}
+
+type escKey struct {
+	a, b ir.Reg
+	imm  int64
+}
+
+// NewAvailFacts builds the fact universe for f given its alias
+// partition.
+func NewAvailFacts(f *ir.Function, alias *Alias) *AvailFacts {
+	av := &AvailFacts{
+		F: f, Alias: alias,
+		guardID:    make(map[guardKey]int),
+		escID:      make(map[escKey]int),
+		sitesByDst: make(map[ir.Reg][]int),
+		killByReg:  make(map[ir.Reg][]int),
+		siteAt:     make(map[*ir.Block]map[int]int),
+	}
+	id := 0
+	alloc := func() int { id++; return id - 1 }
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpGuard:
+				k := guardKey{in.A, in.Imm, in.Region}
+				if _, ok := av.guardID[k]; !ok {
+					fid := alloc()
+					av.guardID[k] = fid
+					av.killByReg[k.a] = append(av.killByReg[k.a], fid)
+				}
+			case ir.OpTrackEsc:
+				k := escKey{in.A, in.B, in.Imm}
+				if _, ok := av.escID[k]; !ok {
+					fid := alloc()
+					av.escID[k] = fid
+					av.killByReg[k.a] = append(av.killByReg[k.a], fid)
+					if k.b != k.a {
+						av.killByReg[k.b] = append(av.killByReg[k.b], fid)
+					}
+				}
+			case ir.OpAlloc:
+				s := len(av.siteFact)
+				fid := alloc()
+				av.siteFact = append(av.siteFact, fid)
+				av.sitesByDst[in.Dst] = append(av.sitesByDst[in.Dst], s)
+				av.killByReg[in.Dst] = append(av.killByReg[in.Dst], fid)
+				if av.siteAt[b] == nil {
+					av.siteAt[b] = make(map[int]int)
+				}
+				av.siteAt[b][i] = s
+			}
+		}
+	}
+	av.numFacts = id
+	return av
+}
+
+// Direction implements Problem.
+func (av *AvailFacts) Direction() Direction { return Forward }
+
+// Meet implements Problem.
+func (av *AvailFacts) Meet() Meet { return Intersect }
+
+// NumFacts implements Problem.
+func (av *AvailFacts) NumFacts() int { return av.numFacts }
+
+// Boundary implements Problem: nothing is available at entry.
+func (av *AvailFacts) Boundary() *BitSet { return NewBitSet(av.numFacts) }
+
+// Transfer implements Problem.
+func (av *AvailFacts) Transfer(b *ir.Block, idx int, in *ir.Instr, facts *BitSet) {
+	switch in.Op {
+	case ir.OpFree, ir.OpTrackFree, ir.OpCall:
+		facts.Reset()
+		if in.Op != ir.OpCall {
+			return
+		}
+	}
+	if d := in.Defs(); d != ir.NoReg {
+		for _, fid := range av.killByReg[d] {
+			facts.Clear(fid)
+		}
+	}
+	switch in.Op {
+	case ir.OpGuard:
+		facts.Set(av.guardID[guardKey{in.A, in.Imm, in.Region}])
+	case ir.OpTrackEsc:
+		facts.Set(av.escID[escKey{in.A, in.B, in.Imm}])
+	case ir.OpAlloc:
+		facts.Set(av.siteFact[av.siteAt[b][idx]])
+	}
+}
+
+// GuardAvailable reports whether an identical guard is available in
+// facts.
+func (av *AvailFacts) GuardAvailable(in *ir.Instr, facts *BitSet) bool {
+	id, ok := av.guardID[guardKey{in.A, in.Imm, in.Region}]
+	return ok && facts.Has(id)
+}
+
+// EscAvailable reports whether an identical escape record is available.
+func (av *AvailFacts) EscAvailable(in *ir.Instr, facts *BitSet) bool {
+	id, ok := av.escID[escKey{in.A, in.B, in.Imm}]
+	return ok && facts.Has(id)
+}
+
+// GuardProvable reports whether the guard provably passes: its base
+// register holds the live base of a known allocation, and (for an exact
+// guard) the offset lies inside the allocation's statically known size.
+// A region guard needs only base validity; an exact guard at offset 0
+// is in bounds of any allocation (tracked sizes are at least one byte).
+func (av *AvailFacts) GuardProvable(in *ir.Instr, facts *BitSet) bool {
+	for _, s := range av.sitesByDst[in.A] {
+		if !facts.Has(av.siteFact[s]) {
+			continue
+		}
+		if in.Region || in.Imm == 0 {
+			return true
+		}
+		if size := av.Alias.Sites[s].Size; size > 0 && in.Imm > 0 && in.Imm < size {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Freed-site analyses (use-after-free / double-free / leak substrate)
+// ---------------------------------------------------------------------
+
+// FreedSites tracks, per allocation site, whether the allocation has
+// been released. Two configurations share the transfer skeleton:
+//
+//   - MustFreed (Intersect): a site is freed on every path — gen at a
+//     free whose operand must-aliases exactly that site, kill when the
+//     site re-allocates. Uses and frees of a must-freed site are the
+//     use-after-free and double-free diagnostics.
+//   - LiveUnfreed (Union): a site is live and unreleased on some path —
+//     gen at the allocation, kill at any free or call that may release
+//     it. A non-escaping site still live at a return is a leak.
+type FreedSites struct {
+	F     *ir.Function
+	Alias *Alias
+	meet  Meet
+	// live selects the LiveUnfreed configuration.
+	live   bool
+	siteAt map[*ir.Block]map[int]int
+}
+
+// NewMustFreed builds the definitely-freed configuration.
+func NewMustFreed(f *ir.Function, alias *Alias) *FreedSites {
+	return newFreedSites(f, alias, Intersect, false)
+}
+
+// NewLiveUnfreed builds the live-and-unfreed configuration.
+func NewLiveUnfreed(f *ir.Function, alias *Alias) *FreedSites {
+	return newFreedSites(f, alias, Union, true)
+}
+
+func newFreedSites(f *ir.Function, alias *Alias, meet Meet, live bool) *FreedSites {
+	fs := &FreedSites{F: f, Alias: alias, meet: meet, live: live,
+		siteAt: make(map[*ir.Block]map[int]int)}
+	site := 0
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpAlloc {
+				if fs.siteAt[b] == nil {
+					fs.siteAt[b] = make(map[int]int)
+				}
+				fs.siteAt[b][i] = site
+				site++
+			}
+		}
+	}
+	return fs
+}
+
+// Direction implements Problem.
+func (fs *FreedSites) Direction() Direction { return Forward }
+
+// Meet implements Problem.
+func (fs *FreedSites) Meet() Meet { return fs.meet }
+
+// NumFacts implements Problem.
+func (fs *FreedSites) NumFacts() int { return len(fs.Alias.Sites) }
+
+// Boundary implements Problem: at entry nothing is freed (MustFreed)
+// and nothing is allocated (LiveUnfreed).
+func (fs *FreedSites) Boundary() *BitSet { return NewBitSet(len(fs.Alias.Sites)) }
+
+// Transfer implements Problem.
+func (fs *FreedSites) Transfer(b *ir.Block, idx int, in *ir.Instr, facts *BitSet) {
+	switch in.Op {
+	case ir.OpAlloc:
+		s := fs.siteAt[b][idx]
+		if fs.live {
+			facts.Set(s)
+		} else {
+			facts.Clear(s)
+		}
+	case ir.OpFree:
+		if fs.live {
+			// Any site the operand may point to may be released; an
+			// unknown operand may release anything that escaped.
+			pts := fs.Alias.PointsTo(in.A)
+			pts.ForEach(func(i int) {
+				if i < len(fs.Alias.Sites) {
+					facts.Clear(i)
+				}
+			})
+			if pts.Has(fs.Alias.Unknown()) {
+				for s := range fs.Alias.Sites {
+					if fs.Alias.Escaped(s) {
+						facts.Clear(s)
+					}
+				}
+			}
+			return
+		}
+		if s, ok := fs.Alias.MustSite(in.A); ok {
+			facts.Set(s)
+		}
+	case ir.OpCall:
+		if fs.live {
+			// The callee may free anything reachable from its
+			// arguments or from prior escapes.
+			for _, arg := range in.Args {
+				fs.Alias.PointsTo(arg).ForEach(func(i int) {
+					if i < len(fs.Alias.Sites) {
+						facts.Clear(i)
+					}
+				})
+			}
+			for s := range fs.Alias.Sites {
+				if fs.Alias.Escaped(s) {
+					facts.Clear(s)
+				}
+			}
+		}
+	}
+}

@@ -17,54 +17,59 @@ type caratResult struct {
 	baseCycles        int64
 	naiveCycles       int64
 	hoistedCycles     int64
+	elimCycles        int64
 	naiveGuards       int64
 	hoistedGuards     int64
+	elimGuards        int64
 	naiveOverhead     float64
 	hoistedOverhead   float64
+	elimOverhead      float64
 	semanticsVerified bool
 }
 
 // CARAT regenerates the §IV-A overhead result: for each benchmark
 // kernel, total cycles without instrumentation, with naive per-access
-// guards, and with compiler-hoisted guards; the paper's claim is that
-// hoisting brings the geomean overhead under 6%.
+// guards, with compiler-hoisted guards, and with the dataflow layer's
+// guard elimination on top of hoisting; the paper's claim is that
+// compiler analysis brings the geomean overhead under 6%.
 func (s *Stack) CARAT() *Table {
 	t := &Table{
 		ID:     "carat",
-		Title:  "CARAT overhead: naive guards vs compiler-hoisted guards",
-		Header: []string{"kernel", "base (Kcyc)", "naive ovh", "hoisted ovh", "guards naive", "guards hoisted", "ok"},
+		Title:  "CARAT overhead: naive vs hoisted vs analysis-eliminated guards",
+		Header: []string{"kernel", "base (Kcyc)", "naive ovh", "hoisted ovh", "elim ovh", "guards naive", "guards hoisted", "guards elim", "ok"},
 	}
 	suite := workloads.CARATSuite()
-	var naiveOvh, hoistOvh []float64
-	// One cell per kernel: each cell runs the kernel's base, naive, and
-	// hoisted configurations on its own interpreter instances.
+	var naiveOvh, hoistOvh, elimOvh []float64
+	// One cell per kernel: each cell runs the kernel's base, naive,
+	// hoisted, and eliminated configurations on its own interpreter
+	// instances.
 	for _, r := range runCells(s, len(suite), func(i int) caratResult {
 		return s.caratKernel(suite[i])
 	}) {
 		naiveOvh = append(naiveOvh, 1+r.naiveOverhead)
 		hoistOvh = append(hoistOvh, 1+r.hoistedOverhead)
+		elimOvh = append(elimOvh, 1+r.elimOverhead)
 		ok := "yes"
 		if !r.semanticsVerified {
 			ok = "NO"
 		}
 		t.AddRow(r.name, f1(float64(r.baseCycles)/1e3), pct(r.naiveOverhead),
-			pct(r.hoistedOverhead), i64(r.naiveGuards), i64(r.hoistedGuards), ok)
+			pct(r.hoistedOverhead), pct(r.elimOverhead),
+			i64(r.naiveGuards), i64(r.hoistedGuards), i64(r.elimGuards), ok)
 	}
-	t.AddRow("geomean", "", pct(stats.GeoMean(naiveOvh)-1), pct(stats.GeoMean(hoistOvh)-1), "", "", "")
+	t.AddRow("geomean", "", pct(stats.GeoMean(naiveOvh)-1), pct(stats.GeoMean(hoistOvh)-1),
+		pct(stats.GeoMean(elimOvh)-1), "", "", "", "")
 	t.AddNote("paper: overheads are <6%% (geometric mean) across NAS, Mantevo, and PARSEC benchmarks after aggregation and hoisting")
+	t.AddNote("elim = hoist + dataflow guard elimination (available/provable checks deleted; see internal/analysis)")
 	return t
 }
 
-// caratKernel measures one kernel in all three configurations.
+// caratKernel measures one kernel in all four configurations.
 func (s *Stack) caratKernel(k workloads.IRKernel) caratResult {
-	run := func(naive, hoisted bool) (uint64, *interp.Stats, error) {
+	run := func(cfg []passes.Pass) (uint64, *interp.Stats, error) {
 		m := k.Build()
-		if naive || hoisted {
-			ps := []passes.Pass{&passes.CARATInject{}}
-			if hoisted {
-				ps = append(ps, &passes.CARATHoist{})
-			}
-			if err := passes.RunAll(m, ps...); err != nil {
+		if len(cfg) > 0 {
+			if err := passes.RunAll(m, cfg...); err != nil {
 				return 0, nil, err
 			}
 		}
@@ -87,15 +92,19 @@ func (s *Stack) caratKernel(k workloads.IRKernel) caratResult {
 		}
 		return got, &ip.Stats, nil
 	}
-	base, baseStats, err := run(false, false)
+	base, baseStats, err := run(nil)
 	if err != nil {
 		panic(err)
 	}
-	naive, naiveStats, err := run(true, false)
+	naive, naiveStats, err := run([]passes.Pass{&passes.CARATInject{}})
 	if err != nil {
 		panic(err)
 	}
-	hoisted, hoistedStats, err := run(false, true)
+	hoisted, hoistedStats, err := run([]passes.Pass{&passes.CARATInject{}, &passes.CARATHoist{}})
+	if err != nil {
+		panic(err)
+	}
+	elim, elimStats, err := run([]passes.Pass{&passes.CARATInject{}, &passes.CARATHoist{}, &passes.CARATElim{}})
 	if err != nil {
 		panic(err)
 	}
@@ -104,11 +113,14 @@ func (s *Stack) caratKernel(k workloads.IRKernel) caratResult {
 		baseCycles:        baseStats.Cycles,
 		naiveCycles:       naiveStats.Cycles,
 		hoistedCycles:     hoistedStats.Cycles,
+		elimCycles:        elimStats.Cycles,
 		naiveGuards:       naiveStats.Guards,
 		hoistedGuards:     hoistedStats.Guards,
+		elimGuards:        elimStats.Guards,
 		naiveOverhead:     float64(naiveStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
 		hoistedOverhead:   float64(hoistedStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
-		semanticsVerified: base == naive && naive == hoisted && (k.Want == 0 || base == k.Want),
+		elimOverhead:      float64(elimStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
+		semanticsVerified: base == naive && naive == hoisted && hoisted == elim && (k.Want == 0 || base == k.Want),
 	}
 }
 

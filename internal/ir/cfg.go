@@ -232,6 +232,15 @@ func (c *CFGInfo) Preheader(l *Loop) *Block {
 	// Insert a dedicated preheader.
 	ph := c.F.NewBlock(l.Header.Name + ".preheader")
 	ph.Instrs = append(ph.Instrs, &Instr{Op: OpJmp, A: NoReg, B: NoReg, Target: l.Header})
+	if len(outside) == 0 {
+		// The header is the function entry (every predecessor is a latch
+		// inside the loop). No edge can be redirected at the new block, so
+		// it must become the new entry — left at the tail it would be
+		// unreachable and code placed in it would silently never execute.
+		last := len(c.F.Blocks) - 1
+		copy(c.F.Blocks[1:], c.F.Blocks[:last])
+		c.F.Blocks[0] = ph
+	}
 	for _, p := range outside {
 		t := p.Terminator()
 		if t.Target == l.Header {

@@ -228,8 +228,23 @@ func (f *Function) Entry() *Block {
 	return f.Blocks[0]
 }
 
-// NewBlock appends a new empty block with the given name.
+// NewBlock appends a new empty block with the given name, uniquified
+// with a numeric suffix if the name is already taken (Verify rejects
+// duplicate names — they make diagnostics and dumps ambiguous).
 func (f *Function) NewBlock(name string) *Block {
+	taken := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		taken[b.Name] = true
+	}
+	if taken[name] {
+		base := name
+		for n := 2; ; n++ {
+			name = fmt.Sprintf("%s.%d", base, n)
+			if !taken[name] {
+				break
+			}
+		}
+	}
 	b := &Block{Name: name, fn: f, id: len(f.Blocks)}
 	f.Blocks = append(f.Blocks, b)
 	return b

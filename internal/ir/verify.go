@@ -7,16 +7,24 @@ import (
 
 // Verify checks a function's structural invariants: every block ends in
 // exactly one terminator (the last instruction), branch targets belong to
-// the function, register operands are in range, and the entry block
-// exists. Passes run Verify after transforming.
+// the function, block names are unique, every non-entry block is
+// referenced by some edge, register operands (including call arguments)
+// are in range, and the entry block exists. Passes run Verify after
+// transforming.
 func Verify(f *Function) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("ir: function %s has no blocks", f.Name)
 	}
 	blockSet := make(map[*Block]bool, len(f.Blocks))
+	names := make(map[string]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
 		blockSet[b] = true
+		if names[b.Name] {
+			return fmt.Errorf("ir: function %s has duplicate block name %q", f.Name, b.Name)
+		}
+		names[b.Name] = true
 	}
+	referenced := make(map[*Block]bool, len(f.Blocks))
 	checkReg := func(b *Block, in *Instr, r Reg, what string) error {
 		if r == NoReg {
 			return nil
@@ -57,15 +65,32 @@ func Verify(f *Function) error {
 				if in.Target == nil || !blockSet[in.Target] {
 					return fmt.Errorf("ir: %s.%s: jmp to foreign block", f.Name, b.Name)
 				}
+				referenced[in.Target] = true
 			case OpBr:
 				if in.Target == nil || !blockSet[in.Target] || in.Else == nil || !blockSet[in.Else] {
 					return fmt.Errorf("ir: %s.%s: br to foreign block", f.Name, b.Name)
 				}
+				referenced[in.Target] = true
+				referenced[in.Else] = true
 			case OpCall:
 				if in.Callee == "" {
 					return fmt.Errorf("ir: %s.%s: call with empty callee", f.Name, b.Name)
 				}
+				for ai, arg := range in.Args {
+					if arg == NoReg || arg < 0 || int(arg) >= f.NumRegs {
+						return fmt.Errorf("ir: %s.%s: call %s argument %d register %d out of range [0,%d)",
+							f.Name, b.Name, in.Callee, ai, arg, f.NumRegs)
+					}
+				}
 			}
+		}
+	}
+	// Dead blocks: a non-entry block no edge references is dropped or
+	// stranded by a buggy transform. (A dead *cycle* still self-references
+	// and passes; the lint layer's CFG walk catches that.)
+	for _, b := range f.Blocks[1:] {
+		if !referenced[b] {
+			return fmt.Errorf("ir: %s.%s is referenced by no edge", f.Name, b.Name)
 		}
 	}
 	return nil

@@ -261,7 +261,13 @@ func (c *CARATHoist) hoistOnce(f *ir.Function) bool {
 		written := l.RegsWrittenIn()
 		defsIn := singleDefsIn(l)
 		var hoisted []*ir.Instr
-		for b := range l.Blocks {
+		// Walk the loop's blocks in function order, not map order: the
+		// hoisted guards land in the preheader in the order collected, and
+		// pass output must be deterministic.
+		for _, b := range f.Blocks {
+			if !l.Blocks[b] {
+				continue
+			}
 			if !dominatesAllLatches(info, b, l) {
 				continue
 			}

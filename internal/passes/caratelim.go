@@ -1,0 +1,86 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// CARATElim deletes CARAT instrumentation the dataflow layer proves
+// redundant — the step beyond CARATHoist's syntactic motion that the
+// paper's <6% geomean overhead depends on ("modern code analysis ...
+// can massively reduce the potentially high costs", §IV-A). Run it
+// after CARATInject and (optionally) CARATHoist.
+//
+// Three elimination rules, each justified by a must-analysis:
+//
+//  1. Available guard: an identical guard (base, offset, region flag)
+//     executed on every path since the last free/call/redefinition.
+//     Re-checking cannot change the outcome — any violation was already
+//     recorded by the first check.
+//  2. Provable guard: the guard's base register still holds the base of
+//     an allocation that cannot have been freed (and, for an exact
+//     guard, the offset is inside the allocation's static size). The
+//     check must pass, so the runtime work is pure overhead.
+//  3. Available escape: an identical escape record (location base,
+//     offset, value register) executed on every path with no
+//     intervening free/call/redefinition. The escape set is idempotent,
+//     so re-recording is redundant.
+//
+// Soundness: rules 1 and 3 only remove re-executions whose observable
+// effect (violation detection, escape-set contents) is subsumed by a
+// dominating-in-the-dataflow-sense copy; rule 2 removes checks whose
+// success is a theorem. Program output is untouched — guards and
+// escape records never alter register or memory state.
+type CARATElim struct {
+	GuardsRemoved  int // rule 1+2 static count
+	RegionRemoved  int // subset of GuardsRemoved that were region guards
+	EscapesRemoved int // rule 3 static count
+}
+
+// Name implements Pass.
+func (c *CARATElim) Name() string { return "carat-elim" }
+
+// Run implements Pass.
+func (c *CARATElim) Run(f *ir.Function) error {
+	info := ir.AnalyzeCFG(f)
+	if len(info.RPO) == 0 {
+		return nil
+	}
+	rd := analysis.NewReachingDefs(f)
+	rdRes := analysis.Solve(info, rd)
+	alias := analysis.AnalyzeAlias(f, rd, rdRes)
+	av := analysis.NewAvailFacts(f, alias)
+	res := analysis.Solve(info, av)
+
+	for _, b := range info.RPO {
+		remove := make(map[int]bool)
+		res.Replay(b, func(idx int, in *ir.Instr, facts *analysis.BitSet) {
+			switch in.Op {
+			case ir.OpGuard:
+				if av.GuardAvailable(in, facts) || av.GuardProvable(in, facts) {
+					remove[idx] = true
+					c.GuardsRemoved++
+					if in.Region {
+						c.RegionRemoved++
+					}
+				}
+			case ir.OpTrackEsc:
+				if av.EscAvailable(in, facts) {
+					remove[idx] = true
+					c.EscapesRemoved++
+				}
+			}
+		})
+		if len(remove) == 0 {
+			continue
+		}
+		out := b.Instrs[:0]
+		for i, in := range b.Instrs {
+			if !remove[i] {
+				out = append(out, in)
+			}
+		}
+		b.Instrs = out
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/carat"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+func TestElimCutsDynamicGuards(t *testing.T) {
+	// Hoisted configuration.
+	hoisted := arrayWalk()
+	if err := RunAll(hoisted, &CARATInject{}, &CARATHoist{}); err != nil {
+		t.Fatal(err)
+	}
+	hv, hip, _ := runWalk(t, hoisted)
+
+	// Hoist + dataflow elimination.
+	elim := arrayWalk()
+	e := &CARATElim{}
+	if err := RunAll(elim, &CARATInject{}, &CARATHoist{}, e); err != nil {
+		t.Fatal(err)
+	}
+	ev, eip, etb := runWalk(t, elim)
+
+	if hv != ev || hv != walkWant {
+		t.Fatalf("output changed: hoisted=%d elim=%d want=%d", hv, ev, walkWant)
+	}
+	if e.GuardsRemoved == 0 {
+		t.Fatal("elimination removed nothing")
+	}
+	hg := hip.Stats.Guards
+	eg := eip.Stats.Guards
+	if eg > hg {
+		t.Fatalf("elim executed more guards (%d) than hoisted (%d)", eg, hg)
+	}
+	// The acceptance bar: at least 10% of the dynamic guard executions
+	// that hoisting left behind are gone.
+	if hg > 0 && float64(eg) > 0.9*float64(hg) {
+		t.Fatalf("only %d -> %d dynamic guards removed (<10%%)", hg, eg)
+	}
+	if etb.Violations != 0 {
+		t.Fatal("spurious violations after elimination")
+	}
+}
+
+func TestElimSoundOnEverySuiteKernel(t *testing.T) {
+	for _, k := range workloads.CARATSuite() {
+		hoisted := k.Build()
+		if err := RunAll(hoisted, &CARATInject{}, &CARATHoist{}); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		elim := k.Build()
+		if err := RunAll(elim, &CARATInject{}, &CARATHoist{}, &CARATElim{}); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		hv, _, _ := runKernel(t, hoisted, k.Entry)
+		ev, eStats, etb := runKernel(t, elim, k.Entry)
+		if hv != ev {
+			t.Fatalf("%s: output changed %d -> %d", k.Name, hv, ev)
+		}
+		if etb.Violations != 0 {
+			t.Fatalf("%s: %d spurious violations", k.Name, etb.Violations)
+		}
+		_ = eStats
+	}
+}
+
+func TestElimKeepsGuardOnLoadedPointer(t *testing.T) {
+	// pointer-chase follows pointers loaded from memory: those guards
+	// cannot be proven and must survive elimination (one removable
+	// preheader region guard aside).
+	var pc workloads.IRKernel
+	for _, k := range workloads.CARATSuite() {
+		if k.Name == "pointer-chase" {
+			pc = k
+		}
+	}
+	m := pc.Build()
+	if err := RunAll(m, &CARATInject{}, &CARATHoist{}, &CARATElim{}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _ := runKernel(t, m, pc.Entry)
+	if stats.Guards == 0 {
+		t.Fatal("per-step guards on loaded pointers must survive")
+	}
+}
+
+func TestElimRemovesDuplicateEscapes(t *testing.T) {
+	// Two identical stores of the same pointer to the same location:
+	// inject emits two identical track_escape records; the second is
+	// redundant (escape sets are idempotent) and must go.
+	m := ir.NewModule("t")
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(64)
+	q := b.Alloc(64)
+	b.Store(p, 0, q)
+	b.Store(p, 0, q)
+	b.Free(q)
+	b.Free(p)
+	b.Ret(ir.NoReg)
+	e := &CARATElim{}
+	if err := RunAll(m, &CARATInject{}, e); err != nil {
+		t.Fatal(err)
+	}
+	if e.EscapesRemoved != 1 {
+		t.Fatalf("EscapesRemoved = %d, want 1", e.EscapesRemoved)
+	}
+}
+
+func TestElimGuardNotRemovedAfterFree(t *testing.T) {
+	// guard p; free p; guard p — the second guard's outcome differs
+	// (violation), so neither availability nor base validity may erase it.
+	m := ir.NewModule("t")
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(64)
+	b.Store(p, 0, b.Const(1))
+	b.Free(p)
+	b.Store(p, 0, b.Const(2)) // use-after-free: guard must stay and fire
+	b.Ret(ir.NoReg)
+	e := &CARATElim{}
+	if err := RunAll(m, &CARATInject{}, e); err != nil {
+		t.Fatal(err)
+	}
+	guards := 0
+	for _, blk := range m.Funcs["main"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpGuard {
+				guards++
+			}
+		}
+	}
+	// The first store's guard is provable (fresh allocation) and may be
+	// removed; the post-free guard must remain.
+	if guards == 0 {
+		t.Fatal("guard after free was eliminated")
+	}
+}
+
+// entryHeaderModule builds a module whose worker function is a self-loop
+// on its own entry block, storing through a parameter (so the injected
+// guard has a loop-invariant base and is hoistable). A boot function
+// allocates the buffer and calls the worker.
+func entryHeaderModule() *ir.Module {
+	m := ir.NewModule("t")
+	w := m.NewFunction("work", 1)
+	b := ir.NewBuilder(w)
+	entry := w.Entry()
+	exit := b.Block("exit")
+	a := b.Param(0)
+	// entry (= header): store [a] = 7; v = load [a]; br v<7 ? entry : exit
+	b.Store(a, 0, b.Const(7))
+	v := b.Load(a, 0)
+	c := b.ICmp(ir.PredLT, v, b.Const(7))
+	b.Br(c, entry, exit)
+	b.SetBlock(exit)
+	b.Ret(v)
+
+	boot := m.NewFunction("main", 0)
+	bb := ir.NewBuilder(boot)
+	q := bb.Alloc(64)
+	r := bb.Call("work", q)
+	bb.Free(q)
+	bb.Ret(r)
+	return m
+}
+
+func TestHoistIntoEntryHeaderLoop(t *testing.T) {
+	// A loop whose header is the function entry: hoisting needs a
+	// preheader, and with no outside edge to redirect the new block must
+	// become the entry — previously it was left unreachable at the tail,
+	// so hoisted guards silently never executed (and Verify now rejects
+	// that shape outright).
+	base, _, _ := runKernel(t, entryHeaderModule(), "main")
+
+	m := entryHeaderModule()
+	oldEntry := m.Funcs["work"].Entry()
+	h := &CARATHoist{}
+	if err := RunAll(m, &CARATInject{}, h); err != nil {
+		t.Fatal(err)
+	}
+	if h.HoistedInvariant == 0 {
+		t.Fatal("the param-based guard should have been hoisted")
+	}
+	w := m.Funcs["work"]
+	if w.Entry() == oldEntry {
+		t.Fatal("preheader did not become the new entry")
+	}
+	if term := w.Entry().Terminator(); term.Op != ir.OpJmp || term.Target != oldEntry {
+		t.Fatal("new entry must jump to the old header")
+	}
+	got, stats, tb := runKernel(t, m, "main")
+	if got != base {
+		t.Fatalf("output changed %d -> %d", base, got)
+	}
+	if stats.Guards == 0 {
+		t.Fatal("hoisted guard never executed")
+	}
+	if tb.Violations != 0 {
+		t.Fatalf("%d spurious violations", tb.Violations)
+	}
+
+	// The full pipeline including elimination stays sound on this shape.
+	m2 := entryHeaderModule()
+	if err := RunAll(m2, &CARATInject{}, &CARATHoist{}, &CARATElim{}); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, tb2 := runKernel(t, m2, "main")
+	if got2 != base || tb2.Violations != 0 {
+		t.Fatalf("elim pipeline broke the kernel: got %d want %d (%d violations)",
+			got2, base, tb2.Violations)
+	}
+}
+
+// runKernel executes entry with CARAT hooks attached and returns the
+// result, the interpreter stats, and the runtime table.
+func runKernel(t *testing.T, m *ir.Module, entry string) (uint64, *interp.Stats, *carat.Table) {
+	t.Helper()
+	ip, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := carat.NewTable()
+	ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+	ip.Hooks.GuardRegion = tb.GuardRegion
+	ip.Hooks.TrackAlloc = tb.TrackAlloc
+	ip.Hooks.TrackFree = tb.TrackFree
+	ip.Hooks.TrackEsc = tb.TrackEscape
+	got, err := ip.Call(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, &ip.Stats, tb
+}

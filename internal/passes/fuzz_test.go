@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/analysis"
 	"repro/internal/carat"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -101,10 +102,16 @@ func genProgram(seed uint64) *ir.Module {
 				}
 				iters := int64(4 + rng.Intn(30))
 				inner := 1 + rng.Intn(4)
+				// Registers defined inside the loop body are only usable
+				// there: on the (statically possible) zero-trip path they
+				// are never written, so leaking them into the outer pool
+				// would generate use-before-def programs.
+				saved := append([]ir.Reg(nil), pool...)
 				b.CountingLoop(0, iters, 1, func(iv ir.Reg) {
 					push(iv)
 					emitOps(depth+1, inner)
 				})
+				pool = saved
 			}
 		}
 	}
@@ -163,6 +170,8 @@ func TestDifferentialPassPipelines(t *testing.T) {
 	}{
 		{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
 		{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+		{"carat-elim", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
+		{"carat-elim-nohoist", func() []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
 		{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
 		{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
 		{"everything", func() []Pass {
@@ -212,6 +221,98 @@ func TestFuzzProgramsAreValid(t *testing.T) {
 		m := genProgram(seed)
 		if err := ir.VerifyModule(m, nil); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFuzzAnalysesConverge: on random programs (both pristine and
+// CARAT-instrumented), every dataflow problem must reach its fixpoint
+// well under the solver's safety cap, and the lint layer must stay
+// consistent with definite assignment: the generator never produces
+// use-before-def, so no such diagnostic may appear.
+func TestFuzzAnalysesConverge(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		m := genProgram(seed)
+		if seed%2 == 1 {
+			if err := RunAll(m, &CARATInject{}, &CARATHoist{}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		for _, f := range m.Functions() {
+			info := ir.AnalyzeCFG(f)
+			rd := analysis.NewReachingDefs(f)
+			rdRes := analysis.Solve(info, rd)
+			alias := analysis.AnalyzeAlias(f, rd, rdRes)
+			for name, p := range map[string]analysis.Problem{
+				"reaching":  rd,
+				"liveness":  analysis.NewLiveness(f),
+				"defassign": analysis.NewDefiniteAssign(f),
+				"avail":     analysis.NewAvailFacts(f, alias),
+				"mustfreed": analysis.NewMustFreed(f, alias),
+				"liveheap":  analysis.NewLiveUnfreed(f, alias),
+			} {
+				res := analysis.Solve(info, p)
+				if !res.Converged {
+					t.Fatalf("seed %d %s/%s: no convergence", seed, f.Name, name)
+				}
+				if res.Rounds > len(info.RPO)+2 {
+					t.Fatalf("seed %d %s/%s: %d rounds for %d blocks",
+						seed, f.Name, name, res.Rounds, len(info.RPO))
+				}
+			}
+			for _, d := range analysis.LintFunc(f) {
+				if d.Kind == analysis.KindUseBeforeDef {
+					t.Fatalf("seed %d: spurious %v", seed, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzElimKeepsModulesValid: inject+hoist+elim on random programs
+// must leave Verify-valid modules with a statically smaller (or equal)
+// guard count, and elimination must be deterministic.
+func TestFuzzElimKeepsModulesValid(t *testing.T) {
+	countOps := func(m *ir.Module, op ir.Op) int {
+		n := 0
+		for _, f := range m.Functions() {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == op {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		hoisted := genProgram(seed)
+		if err := RunAll(hoisted, &CARATInject{}, &CARATHoist{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		run := func() (*ir.Module, *CARATElim) {
+			m := genProgram(seed)
+			e := &CARATElim{}
+			if err := RunAll(m, &CARATInject{}, &CARATHoist{}, e); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return m, e
+		}
+		m1, e1 := run()
+		if err := ir.VerifyModule(m1, nil); err != nil {
+			t.Fatalf("seed %d: module invalid after elim: %v", seed, err)
+		}
+		if g := countOps(m1, ir.OpGuard); g > countOps(hoisted, ir.OpGuard) {
+			t.Fatalf("seed %d: elim grew the static guard count", seed)
+		}
+		m2, e2 := run()
+		if e1.GuardsRemoved != e2.GuardsRemoved || e1.EscapesRemoved != e2.EscapesRemoved {
+			t.Fatalf("seed %d: elimination not deterministic (%d/%d vs %d/%d)",
+				seed, e1.GuardsRemoved, e1.EscapesRemoved, e2.GuardsRemoved, e2.EscapesRemoved)
+		}
+		if ir.Format(m1.Funcs["main"]) != ir.Format(m2.Funcs["main"]) {
+			t.Fatalf("seed %d: eliminated IR differs between runs", seed)
 		}
 	}
 }

@@ -93,8 +93,23 @@ func (p *Inline) inlineOnce(f *ir.Function, maxSize int) bool {
 			if p.reachable(callee.Name, f.Name) || p.reachable(callee.Name, callee.Name) {
 				continue
 			}
+			// Refuse callees with no return: splicing one in would leave
+			// the continuation block with no incoming edge.
+			if !hasRet(callee) {
+				continue
+			}
 			p.doInline(f, bi, ii, in, callee)
 			p.Inlined++
+			return true
+		}
+	}
+	return false
+}
+
+// hasRet reports whether any block of f ends in a return.
+func hasRet(f *ir.Function) bool {
+	for _, b := range f.Blocks {
+		if len(b.Instrs) > 0 && b.Instrs[len(b.Instrs)-1].Op == ir.OpRet {
 			return true
 		}
 	}

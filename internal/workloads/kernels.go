@@ -359,7 +359,7 @@ func nbodyK(n, steps int64) IRKernel {
 					// scaling is not expressible; use float constants
 					// and integer mix to keep FP units busy.
 					fd := b.FMul(b.FConst(0.5), b.FConst(1.25))
-					fi = b.FAdd(fi, fd)
+					b.MovTo(fi, b.FAdd(fi, fd))
 					_ = d
 				})
 				b.Store(b.Add(force, b.Mul(i, eight)), 0, fi)

@@ -1,0 +1,156 @@
+package workloads
+
+import "repro/internal/ir"
+
+// NamedModule is one target of the `interweave lint` subcommand: an
+// uninstrumented IR module plus the extern call set it assumes and the
+// entry function to run for differential (static vs dynamic) checks.
+type NamedModule struct {
+	Name   string
+	Mod    *ir.Module
+	Extern map[string]bool
+	Entry  string
+}
+
+// SumsqDemo builds the array-sum kernel the carat-compiler example
+// transforms: store i*i into a 2048-element array, then sum it.
+func SumsqDemo() *ir.Module {
+	m := ir.NewModule("demo")
+	f := m.NewFunction("sumsq", 0)
+	b := ir.NewBuilder(f)
+	const n = 2048
+	eight := b.Const(8)
+	arr := b.Alloc(n * 8)
+	b.CountingLoop(0, n, 1, func(i ir.Reg) {
+		v := b.Mul(i, i)
+		b.Store(b.Add(arr, b.Mul(i, eight)), 0, v)
+	})
+	sum := b.Const(0)
+	b.CountingLoop(0, n, 1, func(i ir.Reg) {
+		v := b.Load(b.Add(arr, b.Mul(i, eight)), 0)
+		b.MovTo(sum, b.Add(sum, v))
+	})
+	b.Free(arr)
+	b.Ret(sum)
+	return m
+}
+
+// LintTargets returns the shipped modules `interweave lint` checks by
+// default: the example compiler demo and the CARAT kernel suite. All
+// must lint clean.
+func LintTargets() []NamedModule {
+	out := []NamedModule{
+		{Name: "examples/carat-compiler", Mod: SumsqDemo(), Entry: "sumsq"},
+	}
+	for _, k := range CARATSuite() {
+		out = append(out, NamedModule{Name: "kernels/" + k.Name, Mod: k.Build(), Entry: k.Entry})
+	}
+	return out
+}
+
+// BuggySuite returns seeded memory-bug modules — one per bug class the
+// CARAT runtime detects dynamically — used by the differential test
+// (static diagnostics must cover every dynamic detection) and
+// selectable as `interweave lint buggy/...` for demonstration.
+func BuggySuite() []NamedModule {
+	return []NamedModule{
+		{Name: "buggy/use-after-free", Entry: "main", Mod: buggyUseAfterFree()},
+		{Name: "buggy/double-free", Entry: "main", Mod: buggyDoubleFree()},
+		{Name: "buggy/leak", Entry: "main", Mod: buggyLeak()},
+		{Name: "buggy/leak-conditional", Entry: "main", Mod: buggyLeakConditional()},
+		{Name: "buggy/dead-store", Entry: "main", Mod: buggyDeadStore()},
+		{Name: "buggy/use-before-def", Entry: "main", Mod: buggyUseBeforeDef()},
+	}
+}
+
+// buggyUseAfterFree reads a buffer after releasing it; the CARAT guard
+// on the load records a protection violation at run time.
+func buggyUseAfterFree() *ir.Module {
+	m := ir.NewModule("uaf")
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(64)
+	b.Store(p, 0, b.Const(7))
+	b.Free(p)
+	v := b.Load(p, 0)
+	b.Ret(v)
+	return m
+}
+
+// buggyDoubleFree releases the same buffer twice; the CARAT runtime
+// records the second as an untracked free.
+func buggyDoubleFree() *ir.Module {
+	m := ir.NewModule("df")
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(64)
+	b.Store(p, 0, b.Const(1))
+	b.Free(p)
+	b.Free(p)
+	b.Ret(b.Const(0))
+	return m
+}
+
+// buggyLeak never frees its buffer; the allocation table is non-empty
+// when the program exits.
+func buggyLeak() *ir.Module {
+	m := ir.NewModule("leak")
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(128)
+	b.Store(p, 0, b.Const(3))
+	v := b.Load(p, 0)
+	b.Ret(v)
+	return m
+}
+
+// buggyLeakConditional frees only on one arm of a branch.
+func buggyLeakConditional() *ir.Module {
+	m := ir.NewModule("leak-cond")
+	f := m.NewFunction("main", 1)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(64)
+	b.Store(p, 0, b.Param(0))
+	freeB := b.Block("do.free")
+	done := b.Block("done")
+	b.Br(b.Param(0), freeB, done)
+	b.SetBlock(freeB)
+	b.Free(p)
+	b.Jmp(done)
+	b.SetBlock(done)
+	b.Ret(b.Const(0))
+	return m
+}
+
+// buggyDeadStore overwrites a slot before anything reads it.
+func buggyDeadStore() *ir.Module {
+	m := ir.NewModule("deadstore")
+	f := m.NewFunction("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(64)
+	b.Store(p, 8, b.Const(1))
+	b.Store(p, 8, b.Const(2))
+	v := b.Load(p, 8)
+	b.Free(p)
+	b.Ret(v)
+	return m
+}
+
+// buggyUseBeforeDef reads a register that is only assigned on one arm
+// of a branch (the interpreter silently supplies zero).
+func buggyUseBeforeDef() *ir.Module {
+	m := ir.NewModule("ubd")
+	f := m.NewFunction("main", 1)
+	b := ir.NewBuilder(f)
+	x := b.F.NewReg()
+	setB := b.Block("set")
+	done := b.Block("done")
+	b.Br(b.Param(0), setB, done)
+	b.SetBlock(setB)
+	b.MovTo(x, b.Const(41))
+	b.Jmp(done)
+	b.SetBlock(done)
+	one := b.Const(1)
+	b.Ret(b.Add(x, one))
+	return m
+}
