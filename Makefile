@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test short race bench all check
+.PHONY: build vet lint test short race bench benchsmoke all check
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,20 @@ short:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
+# fast path vs reference engine vs the pinned seed baseline).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -count=3 ./...
+	$(GO) run ./cmd/benchdiff -o BENCH_interp.json
+
+# One run of every CARAT kernel on both execution engines, requiring
+# bit-identical results; no timing, so it is cheap enough for check.
+benchsmoke:
+	$(GO) run ./cmd/benchdiff -quick
 
 # Regenerate every table/figure (parallel across all cores by default).
 all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race
+check: build vet lint race benchsmoke

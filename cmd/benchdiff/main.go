@@ -1,0 +1,192 @@
+// Command benchdiff measures the interpreter's execution engines on the
+// CARAT kernel suite and records the results in a JSON file
+// (BENCH_interp.json at the repo root).
+//
+// Modes:
+//
+//	benchdiff -o BENCH_interp.json        # full run: bench fast + reference, write JSON
+//	benchdiff -quick                      # CI smoke: one run per kernel per engine,
+//	                                      # verify bit-identical results, write nothing
+//
+// The output file may contain a hand-pinned "seed" section (numbers
+// captured before the fast path existed); benchdiff preserves it when
+// rewriting the file and reports the geomean speedup against it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/workloads"
+)
+
+type entry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	// Seed is the pinned pre-fast-path baseline; benchdiff never
+	// overwrites it, only carries it forward.
+	Seed                 map[string]entry `json:"seed,omitempty"`
+	Fast                 map[string]entry `json:"fast"`
+	Reference            map[string]entry `json:"reference"`
+	GeomeanSpeedupVsSeed float64          `json:"geomean_speedup_vs_seed,omitempty"`
+	GeomeanSpeedupVsRef  float64          `json:"geomean_speedup_vs_reference,omitempty"`
+	CPU                  string           `json:"cpu,omitempty"`
+	Note                 string           `json:"note,omitempty"`
+}
+
+func benchKernel(k workloads.IRKernel, reference bool) entry {
+	r := testing.Benchmark(func(b *testing.B) {
+		ip, err := interp.New(k.Build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// MaxSteps bounds cumulative steps across Calls, so the
+			// counters reset each iteration.
+			ip.Stats = interp.Stats{}
+			var err error
+			if reference {
+				_, err = ip.ReferenceCall(k.Entry)
+			} else {
+				_, err = ip.Call(k.Entry)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return entry{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// quickCheck runs each kernel once per engine and requires bit-identical
+// return values, Stats, and final heaps — a fast equivalence smoke for
+// `make check`, with no timing thresholds.
+func quickCheck() error {
+	for _, k := range workloads.CARATSuite() {
+		run := func(reference bool) (uint64, interp.Stats, interface{}, error) {
+			ip, err := interp.New(k.Build())
+			if err != nil {
+				return 0, interp.Stats{}, nil, err
+			}
+			var ret uint64
+			if reference {
+				ret, err = ip.ReferenceCall(k.Entry)
+			} else {
+				ret, err = ip.Call(k.Entry)
+			}
+			return ret, ip.Stats, ip.Heap.Snapshot(), err
+		}
+		fr, fs, fh, ferr := run(false)
+		rr, rs, rh, rerr := run(true)
+		if ferr != nil || rerr != nil {
+			return fmt.Errorf("%s: fast err %v, reference err %v", k.Name, ferr, rerr)
+		}
+		if fr != rr || fs != rs || !reflect.DeepEqual(fh, rh) {
+			return fmt.Errorf("%s: engines diverge (ret %d vs %d)", k.Name, fr, rr)
+		}
+		if k.Want != 0 && fr != k.Want {
+			return fmt.Errorf("%s: checksum %d, want %d", k.Name, fr, k.Want)
+		}
+		fmt.Printf("ok  %-14s ret=%d steps=%d cycles=%d\n", k.Name, fr, fs.Steps, fs.Cycles)
+	}
+	return nil
+}
+
+// geomean returns the geometric-mean ratio base[k]/meas[k] over the
+// kernels present in both maps.
+func geomean(base, meas map[string]entry) float64 {
+	var sum float64
+	n := 0
+	for name, b := range base {
+		m, ok := meas[name]
+		if !ok || b.NsPerOp == 0 || m.NsPerOp == 0 {
+			continue
+		}
+		sum += math.Log(float64(b.NsPerOp) / float64(m.NsPerOp))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func main() {
+	out := flag.String("o", "BENCH_interp.json", "output file")
+	quick := flag.Bool("quick", false, "equivalence smoke only; measure nothing, write nothing")
+	flag.Parse()
+
+	if *quick {
+		if err := quickCheck(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep := report{
+		Fast:      make(map[string]entry),
+		Reference: make(map[string]entry),
+		Note:      "ns_per_op are machine-dependent; the tracked claims are the geomeans and fast-path allocs_per_op",
+	}
+	// Carry the pinned seed baseline forward from an existing file.
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old report
+		if json.Unmarshal(prev, &old) == nil {
+			rep.Seed = old.Seed
+			rep.CPU = old.CPU
+		}
+	}
+
+	names := make([]string, 0)
+	for _, k := range workloads.CARATSuite() {
+		names = append(names, k.Name)
+		fmt.Printf("bench %-14s fast...", k.Name)
+		rep.Fast[k.Name] = benchKernel(k, false)
+		fmt.Printf(" %8d ns/op %2d allocs/op   reference...",
+			rep.Fast[k.Name].NsPerOp, rep.Fast[k.Name].AllocsPerOp)
+		rep.Reference[k.Name] = benchKernel(k, true)
+		fmt.Printf(" %8d ns/op\n", rep.Reference[k.Name].NsPerOp)
+	}
+	sort.Strings(names)
+
+	rep.GeomeanSpeedupVsRef = round2(geomean(rep.Reference, rep.Fast))
+	if len(rep.Seed) > 0 {
+		rep.GeomeanSpeedupVsSeed = round2(geomean(rep.Seed, rep.Fast))
+		fmt.Printf("geomean speedup vs seed: %.2fx, vs reference engine: %.2fx\n",
+			rep.GeomeanSpeedupVsSeed, rep.GeomeanSpeedupVsRef)
+	} else {
+		fmt.Printf("geomean speedup vs reference engine: %.2fx\n", rep.GeomeanSpeedupVsRef)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

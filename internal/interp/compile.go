@@ -1,0 +1,232 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// This file is the interpreter's "compile" step: it flattens each IR
+// function into a contiguous array of pre-decoded instructions. The
+// flattening does three things the tree-walking reference engine pays
+// for on every executed instruction:
+//
+//   - branch targets become absolute PCs (no *Block chasing),
+//   - the cycle cost of each op is folded in from the CostTable,
+//   - maximal straight-line runs of pure ALU ops are annotated with
+//     their length and total cost, so the executor can account a whole
+//     run with two additions and then execute values only.
+//
+// A Program snapshots one (module generation, cost table) pair;
+// Interp.ensureProg recompiles when either changes.
+
+// opFellOff is a synthetic opcode placed in the reserved trap slot of a
+// block that lacks a terminator (see ir.Layout). Executing it reproduces
+// the reference engine's fell-off-the-block diagnostic.
+const opFellOff = ir.Op(-1)
+
+// noPC marks an unresolvable branch target (a *Block that is not part
+// of the laid-out function — impossible via the builder API).
+const noPC = int32(-2)
+
+// cinstr is one pre-decoded instruction, packed into a single 64-byte
+// cache line so the dispatch loop touches exactly one line per
+// instruction. Call operands (callee name, argument registers, resolved
+// target) live in a side table on cfunc, indexed by imm — calls are
+// rare relative to ALU/memory traffic.
+type cinstr struct {
+	op     int32 // ir.Op, or opFellOff
+	dst    int32 // register indexes; -1 = ir.NoReg
+	a, b   int32
+	pred   uint8 // ir.Pred for icmp/fcmp
+	region bool
+	_      [2]byte
+	// runLen/runCost: when this instruction is run-eligible (a pure
+	// ALU op), the number of consecutive run-eligible instructions
+	// from here to the end of the run, and their total cycle cost.
+	// Computed as suffix sums so execution may also enter mid-run.
+	runLen  int32
+	imm     int64 // immediate; Float64bits(FImm) for fconst; call index for call
+	cost    int64 // folded cycle cost of this op
+	runCost int64
+	target  int32 // OpBr taken / OpJmp target, as absolute PC
+	els     int32 // OpBr fall-through, as absolute PC
+	blk     int32 // index into cfunc.blocks (diagnostics)
+	_       int32
+}
+
+// ccall is the side-table entry for one OpCall site.
+type ccall struct {
+	callee  string
+	calleeF *cfunc  // pre-resolved in-module callee (nil = extern)
+	args    []int32 // call argument registers
+}
+
+// cfunc is one compiled function.
+type cfunc struct {
+	name      string
+	numParams int
+	numRegs   int
+	code      []cinstr
+	calls     []ccall
+	blocks    []*ir.Block // layout order, for diagnostics
+}
+
+// Program is a compiled module: every function flattened, valid for one
+// module generation and one cost table.
+type Program struct {
+	gen   uint64
+	cost  CostTable
+	funcs map[string]*cfunc
+}
+
+// Gen returns the module generation the program was compiled at.
+func (p *Program) Gen() uint64 { return p.gen }
+
+// Func returns the compiled form of the named function (tests).
+func (p *Program) Func(name string) *cfunc { return p.funcs[name] }
+
+// Compile flattens every function of mod against the given cost table.
+// It only reads the module, so concurrent compiles of a shared,
+// quiescent module are safe.
+func Compile(mod *ir.Module, cost CostTable) *Program {
+	p := &Program{gen: mod.Gen(), cost: cost, funcs: make(map[string]*cfunc, len(mod.Funcs))}
+	for name, f := range mod.Funcs {
+		p.funcs[name] = compileFunc(f, cost)
+	}
+	// Resolve calls to in-module functions now so the executor does no
+	// map lookups; a nil calleeF means extern.
+	for _, cf := range p.funcs {
+		for i := range cf.calls {
+			c := &cf.calls[i]
+			c.calleeF = p.funcs[c.callee]
+		}
+	}
+	return p
+}
+
+// runnable reports whether op may be batched into a straight-line ALU
+// run: pure register-to-register ops that cannot fault, touch memory,
+// invoke hooks, or transfer control. Div/Rem are excluded (divide by
+// zero faults mid-run).
+func runnable(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpFConst, ir.OpMov,
+		ir.OpAdd, ir.OpSub, ir.OpMul,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+		ir.OpICmp, ir.OpFCmp:
+		return true
+	}
+	return false
+}
+
+// costOf folds the cost table into a per-op cycle cost. Interweaving
+// intrinsics cost zero here: their cycles are charged by hooks.
+func costOf(op ir.Op, c CostTable) int64 {
+	switch op {
+	case ir.OpConst, ir.OpFConst, ir.OpMov, ir.OpAdd, ir.OpSub,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpICmp:
+		return c.IntALU
+	case ir.OpMul:
+		return c.IntMul
+	case ir.OpDiv, ir.OpRem:
+		return c.IntDiv
+	case ir.OpFAdd, ir.OpFSub, ir.OpFCmp:
+		return c.FPALU
+	case ir.OpFMul:
+		return c.FPMul
+	case ir.OpFDiv:
+		return c.FPDiv
+	case ir.OpLoad:
+		return c.Load
+	case ir.OpStore:
+		return c.Store
+	case ir.OpAlloc:
+		return c.Alloc
+	case ir.OpFree:
+		return c.Free
+	case ir.OpCall:
+		return c.Call
+	case ir.OpBr:
+		return c.Branch
+	case ir.OpJmp:
+		return c.Jump
+	case ir.OpRet:
+		return c.Ret
+	}
+	return 0
+}
+
+func compileFunc(f *ir.Function, cost CostTable) *cfunc {
+	l := f.Layout()
+	cf := &cfunc{
+		name:      f.Name,
+		numParams: f.NumParams,
+		numRegs:   f.NumRegs,
+		code:      make([]cinstr, l.N),
+		blocks:    l.Blocks,
+	}
+	resolve := func(b *ir.Block) int32 {
+		if pc, ok := l.StartOf(b); ok {
+			return int32(pc)
+		}
+		return noPC
+	}
+	for bi, b := range l.Blocks {
+		pc := l.Start[bi]
+		for _, in := range b.Instrs {
+			ci := &cf.code[pc]
+			ci.op = int32(in.Op)
+			ci.pred = uint8(in.Pred)
+			ci.region = in.Region
+			ci.dst = int32(in.Dst)
+			ci.a = int32(in.A)
+			ci.b = int32(in.B)
+			ci.imm = in.Imm
+			ci.cost = costOf(in.Op, cost)
+			ci.blk = int32(bi)
+			switch in.Op {
+			case ir.OpFConst:
+				ci.imm = int64(math.Float64bits(in.FImm))
+			case ir.OpBr:
+				ci.target = resolve(in.Target)
+				ci.els = resolve(in.Else)
+			case ir.OpJmp:
+				ci.target = resolve(in.Target)
+			case ir.OpCall:
+				args := make([]int32, len(in.Args))
+				for i, r := range in.Args {
+					args[i] = int32(r)
+				}
+				ci.imm = int64(len(cf.calls))
+				cf.calls = append(cf.calls, ccall{callee: in.Callee, args: args})
+			}
+			pc++
+		}
+		if tp := l.TrapPC(bi); tp >= 0 {
+			cf.code[tp] = cinstr{op: int32(opFellOff), blk: int32(bi)}
+		}
+	}
+	// Annotate straight-line ALU runs with suffix lengths and costs.
+	// Runs never cross a block boundary: every block span ends in a
+	// terminator or a trap slot, neither of which is runnable.
+	for bi, b := range l.Blocks {
+		start := l.Start[bi]
+		var runLen int32
+		var runCost int64
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			ci := &cf.code[start+i]
+			if runnable(ir.Op(ci.op)) {
+				runLen++
+				runCost += ci.cost
+				ci.runLen = runLen
+				ci.runCost = runCost
+			} else {
+				runLen = 0
+				runCost = 0
+			}
+		}
+	}
+	return cf
+}

@@ -1,0 +1,373 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// This file is the fast execution engine. It runs the pre-decoded
+// instruction arrays built by Compile and must stay observably
+// bit-identical to reference.go: same return values, same Stats (Steps,
+// Cycles, and every event counter, at every hook observation point),
+// same final heap words, same errors at the same instruction. The
+// parity-sensitive orderings are:
+//
+//   - Steps is incremented and checked against the limit BEFORE an
+//     instruction executes; a batched run only proceeds when the whole
+//     run fits under the limit, otherwise it falls back to single
+//     stepping so ErrStepLimit fires on exactly the same instruction.
+//   - A fell-off-the-block diagnostic does not count a step (the
+//     reference detects it before incrementing).
+//   - Calls++ and the call cost are charged before the callee runs
+//     (and before depth/extern/undefined resolution).
+//   - Alloc/Free errors abort before their counters are bumped;
+//     Div/Rem by zero aborts before the op's cycles are charged.
+
+// acquireFrame returns a zeroed register frame of n words carved from
+// the grow-only frame stack, plus the mark to restore regTop to on
+// release. Growth allocates a fresh backing array; outstanding frames
+// keep their old arrays alive through their slices, so growth never
+// copies or invalidates live frames.
+func (ip *Interp) acquireFrame(n int) ([]uint64, int) {
+	mark := ip.regTop
+	var frame []uint64
+	if mark+n <= cap(ip.regBuf) {
+		frame = ip.regBuf[mark : mark+n]
+		for i := range frame {
+			frame[i] = 0
+		}
+	} else {
+		ip.regBuf = make([]uint64, mark+n, 2*(mark+n)+256)
+		frame = ip.regBuf[mark : mark+n]
+	}
+	ip.regTop = mark + n
+	return frame, mark
+}
+
+// acquireArgs returns an n-word call-argument scratch slice from the
+// grow-only argument stack. The callee copies arguments into its frame
+// at entry, so slices are dead by the time any deeper call could grow
+// the stack.
+func (ip *Interp) acquireArgs(n int) ([]uint64, int) {
+	mark := ip.argTop
+	if mark+n > cap(ip.argBuf) {
+		ip.argBuf = make([]uint64, mark+n, 2*(mark+n)+64)
+	}
+	ip.argTop = mark + n
+	return ip.argBuf[mark : mark+n : mark+n], mark
+}
+
+// fastCall is the compiled-path analogue of refCall: function
+// resolution, extern dispatch, and depth limiting with identical
+// semantics, then execution of the compiled body.
+func (ip *Interp) fastCall(name string, args []uint64, depth int) (uint64, error) {
+	if depth > ip.curMaxDepth {
+		return 0, ErrDepth
+	}
+	cf, ok := ip.prog.funcs[name]
+	if !ok {
+		if ip.Hooks.Extern != nil {
+			ret, cost, err := ip.Hooks.Extern(name, args)
+			ip.Stats.Cycles += cost
+			return ret, err
+		}
+		return 0, fmt.Errorf("%w: %s", ErrUndefined, name)
+	}
+	return ip.execFn(cf, args, depth)
+}
+
+// execFn checks arity, sets up a pooled register frame, and runs the
+// compiled body.
+func (ip *Interp) execFn(cf *cfunc, args []uint64, depth int) (uint64, error) {
+	if len(args) != cf.numParams {
+		return 0, fmt.Errorf("interp: %s wants %d args, got %d", cf.name, cf.numParams, len(args))
+	}
+	regs, mark := ip.acquireFrame(cf.numRegs)
+	copy(regs, args)
+	ret, err := ip.exec(cf, regs, depth)
+	ip.regTop = mark
+	return ret, err
+}
+
+func (ip *Interp) exec(cf *cfunc, regs []uint64, depth int) (uint64, error) {
+	st := &ip.Stats
+	heap := ip.Heap
+	memHook := ip.Hooks.MemAccess
+	maxSteps := ip.curMaxSteps
+	code := cf.code
+	pc := 0
+	for {
+		in := &code[pc]
+		if in.runLen > 1 && st.Steps+int64(in.runLen) <= maxSteps {
+			// Straight-line ALU run: account all steps and cycles up
+			// front, then execute values only. No instruction in the
+			// run can fault, touch memory, or observe Stats, so the
+			// post-run state is identical to per-instruction order.
+			st.Steps += int64(in.runLen)
+			st.Cycles += in.runCost
+			end := pc + int(in.runLen)
+			for ; pc < end; pc++ {
+				c := &code[pc]
+				switch ir.Op(c.op) {
+				case ir.OpConst:
+					regs[c.dst] = uint64(c.imm)
+				case ir.OpFConst:
+					regs[c.dst] = uint64(c.imm)
+				case ir.OpMov:
+					regs[c.dst] = regs[c.a]
+				case ir.OpAdd:
+					regs[c.dst] = regs[c.a] + regs[c.b]
+				case ir.OpSub:
+					regs[c.dst] = regs[c.a] - regs[c.b]
+				case ir.OpMul:
+					regs[c.dst] = uint64(int64(regs[c.a]) * int64(regs[c.b]))
+				case ir.OpAnd:
+					regs[c.dst] = regs[c.a] & regs[c.b]
+				case ir.OpOr:
+					regs[c.dst] = regs[c.a] | regs[c.b]
+				case ir.OpXor:
+					regs[c.dst] = regs[c.a] ^ regs[c.b]
+				case ir.OpShl:
+					regs[c.dst] = regs[c.a] << (regs[c.b] & 63)
+				case ir.OpShr:
+					regs[c.dst] = regs[c.a] >> (regs[c.b] & 63)
+				case ir.OpFAdd:
+					regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a]) + math.Float64frombits(regs[c.b]))
+				case ir.OpFSub:
+					regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a]) - math.Float64frombits(regs[c.b]))
+				case ir.OpFMul:
+					regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a]) * math.Float64frombits(regs[c.b]))
+				case ir.OpFDiv:
+					regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a]) / math.Float64frombits(regs[c.b]))
+				case ir.OpICmp:
+					regs[c.dst] = boolToU64(icmp(ir.Pred(c.pred), int64(regs[c.a]), int64(regs[c.b])))
+				case ir.OpFCmp:
+					regs[c.dst] = boolToU64(fcmp(ir.Pred(c.pred), math.Float64frombits(regs[c.a]), math.Float64frombits(regs[c.b])))
+				}
+			}
+			continue
+		}
+		if in.op < 0 {
+			// Detected before the step counter moves, like the
+			// reference's bounds check.
+			return 0, fmt.Errorf("interp: fell off block %s.%s", cf.name, cf.blocks[in.blk].Name)
+		}
+		st.Steps++
+		if st.Steps > maxSteps {
+			return 0, ErrStepLimit
+		}
+		switch ir.Op(in.op) {
+		case ir.OpConst:
+			regs[in.dst] = uint64(in.imm)
+			st.Cycles += in.cost
+		case ir.OpFConst:
+			regs[in.dst] = uint64(in.imm)
+			st.Cycles += in.cost
+		case ir.OpMov:
+			regs[in.dst] = regs[in.a]
+			st.Cycles += in.cost
+		case ir.OpAdd:
+			regs[in.dst] = regs[in.a] + regs[in.b]
+			st.Cycles += in.cost
+		case ir.OpSub:
+			regs[in.dst] = regs[in.a] - regs[in.b]
+			st.Cycles += in.cost
+		case ir.OpMul:
+			regs[in.dst] = uint64(int64(regs[in.a]) * int64(regs[in.b]))
+			st.Cycles += in.cost
+		case ir.OpDiv:
+			b := int64(regs[in.b])
+			if b == 0 {
+				return 0, fmt.Errorf("interp: division by zero in %s.%s", cf.name, cf.blocks[in.blk].Name)
+			}
+			regs[in.dst] = uint64(int64(regs[in.a]) / b)
+			st.Cycles += in.cost
+		case ir.OpRem:
+			b := int64(regs[in.b])
+			if b == 0 {
+				return 0, fmt.Errorf("interp: modulo by zero in %s.%s", cf.name, cf.blocks[in.blk].Name)
+			}
+			regs[in.dst] = uint64(int64(regs[in.a]) % b)
+			st.Cycles += in.cost
+		case ir.OpAnd:
+			regs[in.dst] = regs[in.a] & regs[in.b]
+			st.Cycles += in.cost
+		case ir.OpOr:
+			regs[in.dst] = regs[in.a] | regs[in.b]
+			st.Cycles += in.cost
+		case ir.OpXor:
+			regs[in.dst] = regs[in.a] ^ regs[in.b]
+			st.Cycles += in.cost
+		case ir.OpShl:
+			regs[in.dst] = regs[in.a] << (regs[in.b] & 63)
+			st.Cycles += in.cost
+		case ir.OpShr:
+			regs[in.dst] = regs[in.a] >> (regs[in.b] & 63)
+			st.Cycles += in.cost
+		case ir.OpFAdd:
+			regs[in.dst] = math.Float64bits(math.Float64frombits(regs[in.a]) + math.Float64frombits(regs[in.b]))
+			st.Cycles += in.cost
+		case ir.OpFSub:
+			regs[in.dst] = math.Float64bits(math.Float64frombits(regs[in.a]) - math.Float64frombits(regs[in.b]))
+			st.Cycles += in.cost
+		case ir.OpFMul:
+			regs[in.dst] = math.Float64bits(math.Float64frombits(regs[in.a]) * math.Float64frombits(regs[in.b]))
+			st.Cycles += in.cost
+		case ir.OpFDiv:
+			regs[in.dst] = math.Float64bits(math.Float64frombits(regs[in.a]) / math.Float64frombits(regs[in.b]))
+			st.Cycles += in.cost
+		case ir.OpICmp:
+			regs[in.dst] = boolToU64(icmp(ir.Pred(in.pred), int64(regs[in.a]), int64(regs[in.b])))
+			st.Cycles += in.cost
+		case ir.OpFCmp:
+			regs[in.dst] = boolToU64(fcmp(ir.Pred(in.pred), math.Float64frombits(regs[in.a]), math.Float64frombits(regs[in.b])))
+			st.Cycles += in.cost
+		case ir.OpLoad:
+			addr := mem.Addr(int64(regs[in.a]) + in.imm)
+			st.Loads++
+			st.Cycles += in.cost
+			if memHook != nil {
+				st.Cycles += memHook(addr, false)
+			}
+			regs[in.dst] = heap.Load(addr)
+		case ir.OpStore:
+			addr := mem.Addr(int64(regs[in.a]) + in.imm)
+			st.Stores++
+			st.Cycles += in.cost
+			if memHook != nil {
+				st.Cycles += memHook(addr, true)
+			}
+			heap.Store(addr, regs[in.b])
+		case ir.OpAlloc:
+			size := uint64(in.imm)
+			if in.a >= 0 {
+				size = regs[in.a]
+			}
+			a, err := heap.Alloc(size)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.dst] = uint64(a)
+			st.Allocs++
+			st.Cycles += in.cost
+		case ir.OpFree:
+			if err := heap.Free(mem.Addr(regs[in.a])); err != nil {
+				return 0, err
+			}
+			st.Frees++
+			st.Cycles += in.cost
+		case ir.OpCall:
+			st.Calls++
+			st.Cycles += in.cost
+			if depth+1 > ip.curMaxDepth {
+				return 0, ErrDepth
+			}
+			call := &cf.calls[in.imm]
+			var ret uint64
+			var err error
+			if call.calleeF != nil {
+				cargs, amark := ip.acquireArgs(len(call.args))
+				for i, r := range call.args {
+					cargs[i] = regs[r]
+				}
+				ret, err = ip.execFn(call.calleeF, cargs, depth+1)
+				ip.argTop = amark
+			} else if ip.Hooks.Extern != nil {
+				// Fresh slice: the extern hook may retain its args.
+				cargs := make([]uint64, len(call.args))
+				for i, r := range call.args {
+					cargs[i] = regs[r]
+				}
+				var cost int64
+				ret, cost, err = ip.Hooks.Extern(call.callee, cargs)
+				st.Cycles += cost
+			} else {
+				return 0, fmt.Errorf("%w: %s", ErrUndefined, call.callee)
+			}
+			if err != nil {
+				return 0, err
+			}
+			regs[in.dst] = ret
+		case ir.OpGuard:
+			st.Guards++
+			if in.region {
+				if ip.Hooks.GuardRegion != nil {
+					c := ip.Hooks.GuardRegion(mem.Addr(regs[in.a]))
+					st.Cycles += c
+					st.GuardCycles += c
+				}
+			} else if ip.Hooks.Guard != nil {
+				c := ip.Hooks.Guard(mem.Addr(int64(regs[in.a]) + in.imm))
+				st.Cycles += c
+				st.GuardCycles += c
+			}
+		case ir.OpTrackAlloc:
+			if ip.Hooks.TrackAlloc != nil {
+				sz := uint64(in.imm)
+				if in.b >= 0 {
+					sz = regs[in.b]
+				}
+				c := ip.Hooks.TrackAlloc(mem.Addr(regs[in.a]), sz)
+				st.Cycles += c
+				st.TrackCycles += c
+			}
+		case ir.OpTrackFree:
+			if ip.Hooks.TrackFree != nil {
+				c := ip.Hooks.TrackFree(mem.Addr(regs[in.a]))
+				st.Cycles += c
+				st.TrackCycles += c
+			}
+		case ir.OpTrackEsc:
+			if ip.Hooks.TrackEsc != nil {
+				loc := mem.Addr(int64(regs[in.a]) + in.imm)
+				c := ip.Hooks.TrackEsc(loc, regs[in.b])
+				st.Cycles += c
+				st.TrackCycles += c
+			}
+		case ir.OpYieldCheck:
+			st.YieldChecks++
+			if ip.Hooks.YieldCheck != nil {
+				c := ip.Hooks.YieldCheck(st.Cycles)
+				st.Cycles += c
+				st.YieldCycles += c
+			}
+		case ir.OpPoll:
+			st.Polls++
+			if ip.Hooks.Poll != nil {
+				c := ip.Hooks.Poll()
+				st.Cycles += c
+				st.PollCycles += c
+			}
+		case ir.OpBr:
+			st.Cycles += in.cost
+			if regs[in.a] != 0 {
+				pc = int(in.target)
+			} else {
+				pc = int(in.els)
+			}
+			if pc < 0 {
+				return 0, fmt.Errorf("interp: branch to foreign block in %s", cf.name)
+			}
+			continue
+		case ir.OpJmp:
+			st.Cycles += in.cost
+			pc = int(in.target)
+			if pc < 0 {
+				return 0, fmt.Errorf("interp: branch to foreign block in %s", cf.name)
+			}
+			continue
+		case ir.OpRet:
+			st.Cycles += in.cost
+			if in.a < 0 {
+				return 0, nil
+			}
+			return regs[in.a], nil
+		default:
+			return 0, fmt.Errorf("interp: unimplemented op %s", ir.Op(in.op))
+		}
+		pc++
+	}
+}

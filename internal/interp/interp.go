@@ -6,11 +6,27 @@
 // tracking, compiler-timing yield checks, blended device polls) call out
 // through Hooks so the runtime layers can charge their real costs and
 // effect their real semantics.
+//
+// Execution has two engines with bit-identical observable behavior
+// (return values, Stats, final heap contents, errors):
+//
+//   - The fast path (compile.go, exec.go) pre-decodes each function into
+//     a contiguous instruction array with branch targets resolved to
+//     absolute PCs and per-op cycle costs folded in at compile time,
+//     batches straight-line ALU runs, and runs register frames out of a
+//     pooled stack so the steady-state call loop does not allocate.
+//   - The reference path (reference.go) is the original tree-walking
+//     loop. It is the semantic oracle for differential tests, and it is
+//     also the engine used whenever Hooks.Abort is set, because abort
+//     polling is specified per instruction.
+//
+// Call picks the engine; compiled programs are cached per Interp and
+// invalidated by the module generation counter (ir.Module.Gen) and by
+// CostTable changes.
 package interp
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/ir"
@@ -22,6 +38,13 @@ var (
 	ErrStepLimit = errors.New("interp: step limit exceeded")
 	ErrDepth     = errors.New("interp: call depth exceeded")
 	ErrUndefined = errors.New("interp: call to undefined function")
+)
+
+// Default execution limits, used when the corresponding Interp field is
+// left at its zero value.
+const (
+	DefaultMaxSteps = 200_000_000
+	DefaultMaxDepth = 256
 )
 
 // CostTable assigns cycle costs to instruction classes.
@@ -80,7 +103,9 @@ type Hooks struct {
 	Extern func(name string, args []uint64) (uint64, int64, error)
 	// Abort, when non-nil, is polled after every instruction; a non-nil
 	// return stops execution with that error (protection-fault
-	// teardown, deadline enforcement).
+	// teardown, deadline enforcement). Setting Abort routes execution
+	// through the reference engine, which implements the per-step
+	// polling contract exactly.
 	Abort func() error
 }
 
@@ -102,43 +127,10 @@ type Stats struct {
 	TrackCycles int64
 }
 
-// Heap is the interpreter's memory: a buddy allocator for addresses plus
-// word-granularity content storage.
-type Heap struct {
-	Buddy *mem.Buddy
-	words map[mem.Addr]uint64
-}
-
-// NewHeap creates a heap of size bytes (power of two) based at base.
-func NewHeap(base mem.Addr, size uint64) (*Heap, error) {
-	b, err := mem.NewBuddy(base, size, 6)
-	if err != nil {
-		return nil, err
-	}
-	return &Heap{Buddy: b, words: make(map[mem.Addr]uint64)}, nil
-}
-
-// Alloc allocates n bytes.
-func (h *Heap) Alloc(n uint64) (mem.Addr, error) { return h.Buddy.Alloc(n) }
-
-// Free releases an allocation.
-func (h *Heap) Free(a mem.Addr) error { return h.Buddy.Free(a) }
-
-// Load reads the 8-byte word at a (aligned down).
-func (h *Heap) Load(a mem.Addr) uint64 { return h.words[a&^7] }
-
-// Store writes the 8-byte word at a (aligned down).
-func (h *Heap) Store(a mem.Addr, v uint64) { h.words[a&^7] = v }
-
-// Move copies n bytes of content from src to dst (CARAT region motion).
-func (h *Heap) Move(src, dst mem.Addr, n uint64) {
-	for off := uint64(0); off < n; off += 8 {
-		h.words[(dst+mem.Addr(off))&^7] = h.words[(src+mem.Addr(off))&^7]
-		delete(h.words, (src+mem.Addr(off))&^7)
-	}
-}
-
 // Interp executes functions of one module against one heap.
+//
+// An Interp is single-threaded; concurrent executors should each hold
+// their own Interp (they may share a quiescent module).
 type Interp struct {
 	Mod   *ir.Module
 	Heap  *Heap
@@ -146,10 +138,31 @@ type Interp struct {
 	Hooks Hooks
 	Stats Stats
 
-	// MaxSteps bounds total executed instructions (default 200M).
+	// MaxSteps bounds total executed instructions, cumulatively across
+	// every Call on this Interp (Stats.Steps never resets on its own).
+	// The zero value means DefaultMaxSteps, so struct-literal Interps
+	// get a sane bound without spelling it out.
 	MaxSteps int64
-	// MaxDepth bounds call nesting (default 256).
+	// MaxDepth bounds call nesting. The zero value means
+	// DefaultMaxDepth.
 	MaxDepth int
+
+	// Compiled-program cache (fast path). Rebuilt when the module
+	// generation or the cost table changes.
+	prog *Program
+
+	// Pooled register frames and call-argument scratch: grow-only
+	// stacks reused across calls so the steady-state call loop does
+	// not allocate.
+	regBuf []uint64
+	regTop int
+	argBuf []uint64
+	argTop int
+
+	// Effective limits for the Call in progress (zero-value defaults
+	// applied).
+	curMaxSteps int64
+	curMaxDepth int
 }
 
 // New creates an interpreter over mod with a fresh 256 MiB heap.
@@ -162,236 +175,50 @@ func New(mod *ir.Module) (*Interp, error) {
 		Mod:      mod,
 		Heap:     h,
 		Cost:     DefaultCosts(),
-		MaxSteps: 200_000_000,
-		MaxDepth: 256,
+		MaxSteps: DefaultMaxSteps,
+		MaxDepth: DefaultMaxDepth,
 	}, nil
 }
 
 // Call runs the named function with the given arguments and returns its
 // result. Cycle and event counts accumulate in Stats across calls.
 func (ip *Interp) Call(name string, args ...uint64) (uint64, error) {
-	return ip.call(name, args, 0)
+	ip.setLimits()
+	if ip.Hooks.Abort != nil {
+		// Abort is polled between consecutive instructions; the
+		// reference engine implements that contract literally.
+		return ip.refCall(name, args, 0)
+	}
+	ip.ensureProg()
+	return ip.fastCall(name, args, 0)
 }
 
-func (ip *Interp) call(name string, args []uint64, depth int) (uint64, error) {
-	if depth > ip.MaxDepth {
-		return 0, ErrDepth
-	}
-	f, ok := ip.Mod.Funcs[name]
-	if !ok {
-		if ip.Hooks.Extern != nil {
-			ret, cost, err := ip.Hooks.Extern(name, args)
-			ip.Stats.Cycles += cost
-			return ret, err
-		}
-		return 0, fmt.Errorf("%w: %s", ErrUndefined, name)
-	}
-	if len(args) != f.NumParams {
-		return 0, fmt.Errorf("interp: %s wants %d args, got %d", name, f.NumParams, len(args))
-	}
-	regs := make([]uint64, f.NumRegs)
-	copy(regs, args)
+// ReferenceCall runs the named function through the reference
+// tree-walking engine regardless of hook configuration. Differential
+// tests use it as the semantic oracle for the compiled fast path.
+func (ip *Interp) ReferenceCall(name string, args ...uint64) (uint64, error) {
+	ip.setLimits()
+	return ip.refCall(name, args, 0)
+}
 
-	blk := f.Entry()
-	idx := 0
-	for {
-		if idx >= len(blk.Instrs) {
-			return 0, fmt.Errorf("interp: fell off block %s.%s", f.Name, blk.Name)
-		}
-		in := blk.Instrs[idx]
-		ip.Stats.Steps++
-		if ip.Stats.Steps > ip.MaxSteps {
-			return 0, ErrStepLimit
-		}
-		if ip.Hooks.Abort != nil {
-			if err := ip.Hooks.Abort(); err != nil {
-				return 0, err
-			}
-		}
-		switch in.Op {
-		case ir.OpConst:
-			regs[in.Dst] = uint64(in.Imm)
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpFConst:
-			regs[in.Dst] = math.Float64bits(in.FImm)
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpMov:
-			regs[in.Dst] = regs[in.A]
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpAdd:
-			regs[in.Dst] = uint64(int64(regs[in.A]) + int64(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpSub:
-			regs[in.Dst] = uint64(int64(regs[in.A]) - int64(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpMul:
-			regs[in.Dst] = uint64(int64(regs[in.A]) * int64(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.IntMul
-		case ir.OpDiv:
-			b := int64(regs[in.B])
-			if b == 0 {
-				return 0, fmt.Errorf("interp: division by zero in %s.%s", f.Name, blk.Name)
-			}
-			regs[in.Dst] = uint64(int64(regs[in.A]) / b)
-			ip.Stats.Cycles += ip.Cost.IntDiv
-		case ir.OpRem:
-			b := int64(regs[in.B])
-			if b == 0 {
-				return 0, fmt.Errorf("interp: modulo by zero in %s.%s", f.Name, blk.Name)
-			}
-			regs[in.Dst] = uint64(int64(regs[in.A]) % b)
-			ip.Stats.Cycles += ip.Cost.IntDiv
-		case ir.OpAnd:
-			regs[in.Dst] = regs[in.A] & regs[in.B]
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpOr:
-			regs[in.Dst] = regs[in.A] | regs[in.B]
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpXor:
-			regs[in.Dst] = regs[in.A] ^ regs[in.B]
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpShl:
-			regs[in.Dst] = regs[in.A] << (regs[in.B] & 63)
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpShr:
-			regs[in.Dst] = regs[in.A] >> (regs[in.B] & 63)
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpFAdd:
-			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) + math.Float64frombits(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.FPALU
-		case ir.OpFSub:
-			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) - math.Float64frombits(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.FPALU
-		case ir.OpFMul:
-			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) * math.Float64frombits(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.FPMul
-		case ir.OpFDiv:
-			regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) / math.Float64frombits(regs[in.B]))
-			ip.Stats.Cycles += ip.Cost.FPDiv
-		case ir.OpICmp:
-			regs[in.Dst] = boolToU64(icmp(in.Pred, int64(regs[in.A]), int64(regs[in.B])))
-			ip.Stats.Cycles += ip.Cost.IntALU
-		case ir.OpFCmp:
-			regs[in.Dst] = boolToU64(fcmp(in.Pred, math.Float64frombits(regs[in.A]), math.Float64frombits(regs[in.B])))
-			ip.Stats.Cycles += ip.Cost.FPALU
-		case ir.OpLoad:
-			addr := mem.Addr(int64(regs[in.A]) + in.Imm)
-			ip.Stats.Loads++
-			ip.Stats.Cycles += ip.Cost.Load
-			if ip.Hooks.MemAccess != nil {
-				ip.Stats.Cycles += ip.Hooks.MemAccess(addr, false)
-			}
-			regs[in.Dst] = ip.Heap.Load(addr)
-		case ir.OpStore:
-			addr := mem.Addr(int64(regs[in.A]) + in.Imm)
-			ip.Stats.Stores++
-			ip.Stats.Cycles += ip.Cost.Store
-			if ip.Hooks.MemAccess != nil {
-				ip.Stats.Cycles += ip.Hooks.MemAccess(addr, true)
-			}
-			ip.Heap.Store(addr, regs[in.B])
-		case ir.OpAlloc:
-			size := uint64(in.Imm)
-			if in.A != ir.NoReg {
-				size = regs[in.A]
-			}
-			a, err := ip.Heap.Alloc(size)
-			if err != nil {
-				return 0, err
-			}
-			regs[in.Dst] = uint64(a)
-			ip.Stats.Allocs++
-			ip.Stats.Cycles += ip.Cost.Alloc
-		case ir.OpFree:
-			if err := ip.Heap.Free(mem.Addr(regs[in.A])); err != nil {
-				return 0, err
-			}
-			ip.Stats.Frees++
-			ip.Stats.Cycles += ip.Cost.Free
-		case ir.OpCall:
-			callArgs := make([]uint64, len(in.Args))
-			for i, r := range in.Args {
-				callArgs[i] = regs[r]
-			}
-			ip.Stats.Calls++
-			ip.Stats.Cycles += ip.Cost.Call
-			ret, err := ip.call(in.Callee, callArgs, depth+1)
-			if err != nil {
-				return 0, err
-			}
-			regs[in.Dst] = ret
-		case ir.OpGuard:
-			ip.Stats.Guards++
-			if in.Region {
-				if ip.Hooks.GuardRegion != nil {
-					c := ip.Hooks.GuardRegion(mem.Addr(regs[in.A]))
-					ip.Stats.Cycles += c
-					ip.Stats.GuardCycles += c
-				}
-			} else if ip.Hooks.Guard != nil {
-				c := ip.Hooks.Guard(mem.Addr(int64(regs[in.A]) + in.Imm))
-				ip.Stats.Cycles += c
-				ip.Stats.GuardCycles += c
-			}
-		case ir.OpTrackAlloc:
-			if ip.Hooks.TrackAlloc != nil {
-				sz := uint64(in.Imm)
-				if in.B != ir.NoReg {
-					sz = regs[in.B]
-				}
-				c := ip.Hooks.TrackAlloc(mem.Addr(regs[in.A]), sz)
-				ip.Stats.Cycles += c
-				ip.Stats.TrackCycles += c
-			}
-		case ir.OpTrackFree:
-			if ip.Hooks.TrackFree != nil {
-				c := ip.Hooks.TrackFree(mem.Addr(regs[in.A]))
-				ip.Stats.Cycles += c
-				ip.Stats.TrackCycles += c
-			}
-		case ir.OpTrackEsc:
-			if ip.Hooks.TrackEsc != nil {
-				loc := mem.Addr(int64(regs[in.A]) + in.Imm)
-				c := ip.Hooks.TrackEsc(loc, regs[in.B])
-				ip.Stats.Cycles += c
-				ip.Stats.TrackCycles += c
-			}
-		case ir.OpYieldCheck:
-			ip.Stats.YieldChecks++
-			if ip.Hooks.YieldCheck != nil {
-				c := ip.Hooks.YieldCheck(ip.Stats.Cycles)
-				ip.Stats.Cycles += c
-				ip.Stats.YieldCycles += c
-			}
-		case ir.OpPoll:
-			ip.Stats.Polls++
-			if ip.Hooks.Poll != nil {
-				c := ip.Hooks.Poll()
-				ip.Stats.Cycles += c
-				ip.Stats.PollCycles += c
-			}
-		case ir.OpBr:
-			ip.Stats.Cycles += ip.Cost.Branch
-			if regs[in.A] != 0 {
-				blk, idx = in.Target, 0
-			} else {
-				blk, idx = in.Else, 0
-			}
-			continue
-		case ir.OpJmp:
-			ip.Stats.Cycles += ip.Cost.Jump
-			blk, idx = in.Target, 0
-			continue
-		case ir.OpRet:
-			ip.Stats.Cycles += ip.Cost.Ret
-			if in.A == ir.NoReg {
-				return 0, nil
-			}
-			return regs[in.A], nil
-		default:
-			return 0, fmt.Errorf("interp: unimplemented op %s", in.Op)
-		}
-		idx++
+// setLimits computes the effective limits for one Call, applying the
+// zero-value defaults.
+func (ip *Interp) setLimits() {
+	ip.curMaxSteps = ip.MaxSteps
+	if ip.curMaxSteps <= 0 {
+		ip.curMaxSteps = DefaultMaxSteps
+	}
+	ip.curMaxDepth = ip.MaxDepth
+	if ip.curMaxDepth <= 0 {
+		ip.curMaxDepth = DefaultMaxDepth
+	}
+}
+
+// ensureProg (re)compiles the module if the cached program is missing
+// or stale (module mutated, or cost table changed).
+func (ip *Interp) ensureProg() {
+	if ip.prog == nil || ip.prog.gen != ip.Mod.Gen() || ip.prog.cost != ip.Cost {
+		ip.prog = Compile(ip.Mod, ip.Cost)
 	}
 }
 

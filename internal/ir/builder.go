@@ -27,6 +27,7 @@ func (b *Builder) Block(name string) *Block { return b.F.NewBlock(name) }
 
 func (b *Builder) emit(in *Instr) *Instr {
 	b.Cur.Instrs = append(b.Cur.Instrs, in)
+	b.Cur.fn.Touch()
 	return in
 }
 

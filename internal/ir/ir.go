@@ -218,6 +218,24 @@ type Function struct {
 	NumParams int
 	NumRegs   int
 	Blocks    []*Block
+
+	mod *Module // owning module (generation bookkeeping)
+}
+
+// Module returns the module the function was created in (nil for a
+// free-standing Function literal).
+func (f *Function) Module() *Module { return f.mod }
+
+// Touch records a structural mutation of the function, bumping the
+// owning module's generation so that derived artifacts (layouts,
+// compiled interpreter programs) know to rebuild. The builder and the
+// structural mutators below call it automatically; code that splices
+// Block.Instrs by hand after execution has started must call it (or
+// Module.Touch) itself.
+func (f *Function) Touch() {
+	if f.mod != nil {
+		f.mod.gen++
+	}
 }
 
 // Entry returns the function's entry block.
@@ -247,6 +265,7 @@ func (f *Function) NewBlock(name string) *Block {
 	}
 	b := &Block{Name: name, fn: f, id: len(f.Blocks)}
 	f.Blocks = append(f.Blocks, b)
+	f.Touch()
 	return b
 }
 
@@ -254,6 +273,7 @@ func (f *Function) NewBlock(name string) *Block {
 func (f *Function) NewReg() Reg {
 	r := Reg(f.NumRegs)
 	f.NumRegs++
+	f.Touch()
 	return r
 }
 
@@ -262,6 +282,7 @@ func (f *Function) renumber() {
 	for i, b := range f.Blocks {
 		b.id = i
 	}
+	f.Touch()
 }
 
 // InstrCount returns the total instruction count (a LoC-like size metric
@@ -289,11 +310,28 @@ func (f *Function) CountOp(op Op) int {
 }
 
 // Module is a set of functions.
+//
+// The module carries a structural generation counter: every mutation
+// through the ir API (new functions, new blocks, new registers, builder
+// emission, pass rewrites via passes.RunAll) bumps it. Consumers that
+// cache per-generation artifacts — Function.Layout, the interpreter's
+// compiled programs — compare generations to decide whether their cache
+// is still valid. Mutation is only safe single-threaded; concurrent
+// executors may share a module as long as nobody mutates it.
 type Module struct {
 	Name  string
 	Funcs map[string]*Function
 	order []string
+	gen   uint64
 }
+
+// Gen returns the module's structural generation.
+func (m *Module) Gen() uint64 { return m.gen }
+
+// Touch bumps the structural generation, invalidating cached layouts
+// and compiled programs. The ir API calls it automatically; call it by
+// hand after splicing Block.Instrs directly.
+func (m *Module) Touch() { m.gen++ }
 
 // NewModule creates an empty module.
 func NewModule(name string) *Module {
@@ -302,9 +340,10 @@ func NewModule(name string) *Module {
 
 // NewFunction creates and registers a function with numParams parameters.
 func (m *Module) NewFunction(name string, numParams int) *Function {
-	f := &Function{Name: name, NumParams: numParams, NumRegs: numParams}
+	f := &Function{Name: name, NumParams: numParams, NumRegs: numParams, mod: m}
 	m.Funcs[name] = f
 	m.order = append(m.order, name)
+	m.gen++
 	return f
 }
 

@@ -1,0 +1,70 @@
+package ir
+
+// Layout is a function's flat code layout: blocks in definition order,
+// each occupying a contiguous span of absolute PCs. It is the metadata
+// the interpreter's compile step uses to resolve branch targets to PCs
+// instead of chasing *Block pointers at run time.
+//
+// Blocks that do not end in a terminator get one extra reserved PC
+// after their last instruction (a "fall-off trap" slot), so an executor
+// that flattens the function has a place to put its fell-off-the-block
+// diagnostic without perturbing any other block's span.
+//
+// A Layout is a snapshot: it is valid for the module generation it was
+// computed at (Gen). Structural mutation bumps the module generation,
+// and consumers holding a Layout whose Gen no longer matches
+// Module.Gen() must recompute.
+type Layout struct {
+	// Gen is the module generation this layout was computed at.
+	Gen uint64
+	// Blocks lists the function's blocks in layout (definition) order.
+	Blocks []*Block
+	// Start[i] is the absolute PC of Blocks[i]'s first instruction.
+	Start []int
+	// N is the total number of PCs, including reserved trap slots.
+	N int
+
+	pcOf map[*Block]int
+}
+
+// StartOf returns the absolute PC of b's first instruction, or false if
+// b is not part of the laid-out function.
+func (l *Layout) StartOf(b *Block) (int, bool) {
+	pc, ok := l.pcOf[b]
+	return pc, ok
+}
+
+// TrapPC reports the reserved fall-off slot for Blocks[i], or -1 if the
+// block ends in a terminator and has none.
+func (l *Layout) TrapPC(i int) int {
+	b := l.Blocks[i]
+	if b.Terminator() != nil {
+		return -1
+	}
+	return l.Start[i] + len(b.Instrs)
+}
+
+// Layout computes the function's flat layout at the current module
+// generation. It is a pure read of the IR (no caching, no mutation), so
+// concurrent executors may call it on a shared, quiescent module.
+func (f *Function) Layout() *Layout {
+	l := &Layout{
+		Blocks: f.Blocks,
+		Start:  make([]int, len(f.Blocks)),
+		pcOf:   make(map[*Block]int, len(f.Blocks)),
+	}
+	if f.mod != nil {
+		l.Gen = f.mod.gen
+	}
+	pc := 0
+	for i, b := range f.Blocks {
+		l.Start[i] = pc
+		l.pcOf[b] = pc
+		pc += len(b.Instrs)
+		if b.Terminator() == nil {
+			pc++ // reserved fall-off trap slot
+		}
+	}
+	l.N = pc
+	return l
+}

@@ -35,8 +35,10 @@ type Buddy struct {
 	// allocated maps offset -> order for live allocations.
 	allocated map[uint64]uint
 	// blockFree tracks which (offset,order) buddies are free for
-	// coalescing checks.
-	blockFree map[uint64]map[uint]bool
+	// coalescing checks, keyed by freeKey. The flat key avoids the
+	// per-offset inner map (and its allocation on every free) that a
+	// two-level map would cost.
+	blockFree map[uint64]bool
 
 	// Stats.
 	FreeBytes  uint64
@@ -69,34 +71,33 @@ func NewBuddy(base Addr, size uint64, minOrder uint) (*Buddy, error) {
 		maxOrder:  maxOrder,
 		freeLists: make([][]uint64, maxOrder+1),
 		allocated: make(map[uint64]uint),
-		blockFree: make(map[uint64]map[uint]bool),
+		blockFree: make(map[uint64]bool),
 		FreeBytes: size,
 	}
 	b.pushFree(0, maxOrder)
 	return b, nil
 }
 
-func (b *Buddy) pushFree(off uint64, order uint) {
-	b.freeLists[order] = append(b.freeLists[order], off)
-	m := b.blockFree[off]
-	if m == nil {
-		m = make(map[uint]bool)
-		b.blockFree[off] = m
-	}
-	m[order] = true
+// freeKey packs (offset, order) into one map key. Orders are < 64, so
+// six low bits suffice; offsets stay well clear of the top six bits for
+// any realistic region size.
+func freeKey(off uint64, order uint) uint64 {
+	return off<<6 | uint64(order)
 }
 
-// popFree removes a specific free block (off, order); returns false if it
-// is not free at that order.
+func (b *Buddy) pushFree(off uint64, order uint) {
+	b.freeLists[order] = append(b.freeLists[order], off)
+	b.blockFree[freeKey(off, order)] = true
+}
+
+// popFreeAt removes a specific free block (off, order); returns false if
+// it is not free at that order.
 func (b *Buddy) popFreeAt(off uint64, order uint) bool {
-	m := b.blockFree[off]
-	if m == nil || !m[order] {
+	k := freeKey(off, order)
+	if !b.blockFree[k] {
 		return false
 	}
-	delete(m, order)
-	if len(m) == 0 {
-		delete(b.blockFree, off)
-	}
+	delete(b.blockFree, k)
 	list := b.freeLists[order]
 	for i, o := range list {
 		if o == off {
@@ -115,11 +116,7 @@ func (b *Buddy) popAnyFree(order uint) (uint64, bool) {
 	}
 	off := list[len(list)-1]
 	b.freeLists[order] = list[:len(list)-1]
-	m := b.blockFree[off]
-	delete(m, order)
-	if len(m) == 0 {
-		delete(b.blockFree, off)
-	}
+	delete(b.blockFree, freeKey(off, order))
 	return off, true
 }
 

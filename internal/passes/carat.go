@@ -25,6 +25,9 @@ type Pass interface {
 }
 
 // RunAll applies each pass to every function of m, verifying after each.
+// It bumps the module's structural generation after every pass, so any
+// compiled interpreter program derived from m is invalidated even when a
+// pass splices Block.Instrs directly.
 func RunAll(m *ir.Module, ps ...Pass) error {
 	for _, p := range ps {
 		for _, f := range m.Functions() {
@@ -35,6 +38,7 @@ func RunAll(m *ir.Module, ps ...Pass) error {
 				return fmt.Errorf("pass %s broke %s: %w", p.Name(), f.Name, err)
 			}
 		}
+		m.Touch()
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package passes
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/carat"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// attachRuntime wires the full CARAT runtime (plus timing/poll hooks)
+// to an interpreter, exactly as runFuzz does, and returns the table so
+// the caller can check for violations.
+func attachRuntime(ip *interp.Interp) *carat.Table {
+	tb := carat.NewTable()
+	ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+	ip.Hooks.GuardRegion = tb.GuardRegion
+	ip.Hooks.TrackAlloc = tb.TrackAlloc
+	ip.Hooks.TrackFree = tb.TrackFree
+	ip.Hooks.TrackEsc = tb.TrackEscape
+	ip.Hooks.YieldCheck = func(int64) int64 { return 6 }
+	ip.Hooks.Poll = func() int64 { return 3 }
+	return tb
+}
+
+// TestDifferentialFastVsReference runs fuzz-generated modules — both
+// pristine and through the instrumentation pipelines — on the compiled
+// fast path and on the reference tree-walking engine, and requires
+// bit-identical results: return value, complete Stats, and final heap
+// contents.
+func TestDifferentialFastVsReference(t *testing.T) {
+	pipelines := []struct {
+		name string
+		mk   func() []Pass
+	}{
+		{"pristine", nil},
+		{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
+		{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+		{"carat-elim", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
+		{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
+		{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
+	}
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		for _, p := range pipelines {
+			m := genProgram(seed)
+			if p.mk != nil {
+				if err := RunAll(m, p.mk()...); err != nil {
+					t.Fatalf("seed %d %s: %v", seed, p.name, err)
+				}
+			}
+
+			run := func(reference bool) (uint64, error, interp.Stats, map[mem.Addr]uint64) {
+				ip, err := interp.New(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				attachRuntime(ip)
+				var ret uint64
+				if reference {
+					ret, err = ip.ReferenceCall("main")
+				} else {
+					ret, err = ip.Call("main")
+				}
+				return ret, err, ip.Stats, ip.Heap.Snapshot()
+			}
+
+			fRet, fErr, fStats, fHeap := run(false)
+			rRet, rErr, rStats, rHeap := run(true)
+
+			if (fErr == nil) != (rErr == nil) ||
+				(fErr != nil && fErr.Error() != rErr.Error()) {
+				t.Fatalf("seed %d %s: errors diverge: fast=%v ref=%v", seed, p.name, fErr, rErr)
+			}
+			if fRet != rRet {
+				t.Fatalf("seed %d %s: return %d != %d", seed, p.name, fRet, rRet)
+			}
+			if fStats != rStats {
+				t.Fatalf("seed %d %s: stats diverge\nfast: %+v\nref:  %+v", seed, p.name, fStats, rStats)
+			}
+			if !reflect.DeepEqual(fHeap, rHeap) {
+				t.Fatalf("seed %d %s: final heaps diverge (%d vs %d live words)",
+					seed, p.name, len(fHeap), len(rHeap))
+			}
+		}
+	}
+}

@@ -181,11 +181,12 @@ func (k *Kernel) Load(name string, img *Image) (*Process, error) {
 		return nil, ErrBadSignature
 	}
 	p := &Process{Name: name, Table: carat.NewTable(), KillOnFault: true}
+	// MaxSteps is left zero (interp.DefaultMaxSteps); PIK processes get
+	// deeper call nesting than the interpreter default allows.
 	ip := &interp.Interp{
 		Mod:      img.Mod,
 		Heap:     k.Heap,
 		Cost:     interp.DefaultCosts(),
-		MaxSteps: 200_000_000,
 		MaxDepth: 512,
 	}
 	ip.Hooks.Guard = func(a mem.Addr) int64 {

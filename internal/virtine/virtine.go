@@ -212,6 +212,10 @@ func (w *Wasp) Invoke(s *Spec, path StartPath, args ...uint64) (uint64, Latency,
 	if err != nil {
 		return 0, lat, err
 	}
+	// Virtines get a tighter step budget than interp.DefaultMaxSteps
+	// (they are short-lived functions) but deeper call nesting.
+	// Concurrent Invokes may share s.Mod: each holds its own Interp,
+	// and the module is only read.
 	ip := &interp.Interp{
 		Mod:      s.Mod,
 		Heap:     h,
