@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test short race bench benchsmoke all check
+.PHONY: build vet lint test short race race-mem bench bench-mem benchsmoke all check
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,25 @@ short:
 race:
 	$(GO) test -race ./...
 
+# Focused race leg for the concurrent allocator front-end (CPUCache) and
+# the parallel experiment runner — the two places goroutines share state.
+race-mem:
+	$(GO) test -race ./internal/mem ./internal/exp
+
 # Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
 # fast path vs reference engine vs the pinned seed baseline).
 bench:
 	$(GO) test -bench=. -benchmem -count=3 ./...
 	$(GO) run ./cmd/benchdiff -o BENCH_interp.json
 
-# One run of every CARAT kernel on both execution engines, requiring
-# bit-identical results; no timing, so it is cheap enough for check.
+# Allocator benches: intrusive Buddy vs ReferenceBuddy single-core, plus
+# the contended magazines-vs-mutex aggregate; writes BENCH_mem.json.
+bench-mem:
+	$(GO) run ./cmd/benchdiff -mem -o BENCH_mem.json
+
+# One run of every CARAT kernel on both execution engines plus a 10k-op
+# allocator differential trace, requiring bit-identical results; no
+# timing, so it is cheap enough for check.
 benchsmoke:
 	$(GO) run ./cmd/benchdiff -quick
 
@@ -39,4 +50,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race benchsmoke
+check: build vet lint race race-mem benchsmoke

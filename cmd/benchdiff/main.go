@@ -6,7 +6,10 @@
 //
 //	benchdiff -o BENCH_interp.json        # full run: bench fast + reference, write JSON
 //	benchdiff -quick                      # CI smoke: one run per kernel per engine,
-//	                                      # verify bit-identical results, write nothing
+//	                                      # verify bit-identical results, write nothing;
+//	                                      # also runs a 10k-op allocator differential trace
+//	benchdiff -mem -o BENCH_mem.json      # allocator benches: intrusive Buddy vs
+//	                                      # ReferenceBuddy, plus contended magazines vs mutex
 //
 // The output file may contain a hand-pinned "seed" section (numbers
 // captured before the fast path existed); benchdiff preserves it when
@@ -131,8 +134,9 @@ func geomean(base, meas map[string]entry) float64 {
 func round2(v float64) float64 { return math.Round(v*100) / 100 }
 
 func main() {
-	out := flag.String("o", "BENCH_interp.json", "output file")
+	out := flag.String("o", "", "output file (default BENCH_interp.json, or BENCH_mem.json with -mem)")
 	quick := flag.Bool("quick", false, "equivalence smoke only; measure nothing, write nothing")
+	memMode := flag.Bool("mem", false, "benchmark the memory allocator instead of the interpreter")
 	flag.Parse()
 
 	if *quick {
@@ -140,7 +144,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}
+		if err := quickCheckMem(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
 		return
+	}
+
+	if *memMode {
+		if *out == "" {
+			*out = "BENCH_mem.json"
+		}
+		if err := runMem(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_interp.json"
 	}
 
 	rep := report{

@@ -64,6 +64,7 @@ func main() {
 	overheads := fs.Bool("overheads", false, "fig3: also print scheduling overheads")
 	granularity := fs.Bool("granularity", false, "fig4: also print granularity floors")
 	mobility := fs.Bool("mobility", false, "carat: also print heap compaction demo")
+	memstats := fs.Bool("memstats", false, "carat: also print heap allocator statistics")
 	epcc := fs.Bool("epcc", false, "fig6: also print EPCC sync microbenchmarks")
 	sweep := fs.Bool("sweep", false, "fig7: also print scale/disaggregation sweep")
 	ablate := fs.Bool("ablate", false, "fig7: also print per-class ablation")
@@ -110,6 +111,9 @@ func main() {
 			emit(s.CARAT())
 			if *mobility {
 				emit(s.CARATMobility())
+			}
+			if *memstats {
+				emit(s.MemStats())
 			}
 		case "fig6":
 			s := stack(core.KNLStack(1))
@@ -276,7 +280,7 @@ experiments:
   nautilus    §III   kernel primitives and app speedup vs Linux (E1)
   fig3        §IV-B  heartbeat rate, Nautilus vs Linux (E2; -overheads for E3)
   fig4        §IV-C  context switch cost family (E4; -granularity)
-  carat       §IV-A  CARAT guard overhead (E5; -mobility)
+  carat       §IV-A  CARAT guard overhead (E5; -mobility, -memstats)
   fig6        §V-A   kernel OpenMP vs Linux OpenMP (E6; -epcc)
   fig7        §V-B   coherence deactivation (E7; -sweep for E11, -ablate)
   virtine     §IV-D  virtine start-up latencies (E8)

@@ -22,7 +22,9 @@ const (
 )
 
 // Heap is the interpreter's memory: a buddy allocator for addresses plus
-// word-granularity content storage in a sparse paged flat store.
+// word-granularity content storage in a sparse paged flat store. The
+// allocator is mem.Buddy's intrusive fast engine, so every IR alloc/free
+// is O(log n) with zero map operations and zero Go heap allocations.
 type Heap struct {
 	Buddy *mem.Buddy
 

@@ -4,11 +4,28 @@
 // and a TLB model that shows why that design makes TLB misses "extremely
 // rare ... and, indeed, if the TLB entries can cover the physical address
 // space of the machine, do not occur at all after startup".
+//
+// The allocator has two engines with address-for-address identical
+// behavior (mirroring internal/interp's fast/reference split):
+//
+//   - Buddy (this file) is the fast path: intrusive O(log n) metadata —
+//     one flat paged []blockMeta array indexed by offset>>minOrder
+//     holding order, a state byte, and doubly-linked free-list links —
+//     so Alloc, Free, and coalescing do zero map operations, zero heap
+//     allocations steady-state, and no scans.
+//   - ReferenceBuddy (reference.go) is the original map-based
+//     implementation, kept as the semantic oracle for the differential
+//     fuzzer (FuzzBuddyVsReference).
+//
+// CPUCache (cpucache.go) adds a concurrent per-CPU magazine front-end
+// over a shared zone, the partitioned-caching design per-CPU kernel
+// allocators use.
 package mem
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrOutOfMemory is returned when an allocation cannot be satisfied.
@@ -20,35 +37,80 @@ var ErrBadFree = errors.New("mem: free of unallocated address")
 // Addr is a simulated physical address.
 type Addr uint64
 
+// Block metadata lives in fixed-size pages under a table sized at New,
+// so a sparsely used region (a fresh 256 MiB interpreter heap with a few
+// live blocks) costs a handful of pages, and the page table itself is
+// never reallocated — metadata pointers stay stable for the allocator's
+// lifetime.
+const (
+	metaPageBits = 10
+	metaPageLen  = 1 << metaPageBits
+	metaPageMask = metaPageLen - 1
+)
+
+// Block-head states. A meta entry whose offset is not the head of a
+// current block stays blockInterior.
+const (
+	blockInterior uint8 = iota
+	blockFree
+	blockAllocated
+)
+
+// blockMeta is the intrusive per-block metadata: free-list links (meta
+// indexes, -1 = none), the block's order, and its state.
+type blockMeta struct {
+	prev, next int32
+	order      uint8
+	state      uint8
+}
+
+// noBlock is the nil link value.
+const noBlock = int32(-1)
+
+// BuddyStats is a copyable snapshot of an allocator's counters, safe to
+// read outside any lock that guards the allocator itself.
+type BuddyStats struct {
+	FreeBytes    uint64
+	UsedBytes    uint64
+	Allocs       uint64
+	Frees        uint64
+	Splits       uint64
+	Coalesces    uint64
+	PeakUsed     uint64
+	FailedAllocs uint64
+	Live         int
+}
+
 // Buddy is a binary-buddy allocator over a contiguous region. It is the
 // allocator Nautilus uses for each memory zone: power-of-two blocks,
-// split on demand, coalesced on free.
+// split on demand, coalesced on free. This is the fast engine; see the
+// package comment for the fast/reference split.
 type Buddy struct {
 	base     Addr
 	size     uint64
 	minOrder uint // log2 of smallest block
 	maxOrder uint // log2 of the whole region
 
-	// freeLists[o] holds the offsets (relative to base) of free blocks
-	// of order o.
-	freeLists [][]uint64
-	// allocated maps offset -> order for live allocations.
-	allocated map[uint64]uint
-	// blockFree tracks which (offset,order) buddies are free for
-	// coalescing checks, keyed by freeKey. The flat key avoids the
-	// per-offset inner map (and its allocation on every free) that a
-	// two-level map would cost.
-	blockFree map[uint64]bool
+	// pages is the paged metadata array: entry idx = offset >> minOrder
+	// lives at pages[idx>>metaPageBits][idx&metaPageMask]. Pages
+	// materialize on first touch; the table itself is fixed-size.
+	pages [][]blockMeta
+	// freeHead[o] is the meta index of the first free block of order o
+	// (noBlock if empty); freeMask bit o mirrors non-emptiness so Alloc
+	// finds the smallest adequate order with one TrailingZeros64.
+	freeHead []int32
+	freeMask uint64
+	live     int
 
 	// Stats.
-	FreeBytes  uint64
-	UsedBytes  uint64
-	Allocs     uint64
-	Frees      uint64
-	Splits     uint64
-	Coalesces  uint64
-	PeakUsed   uint64
-	FailedAllo uint64
+	FreeBytes    uint64
+	UsedBytes    uint64
+	Allocs       uint64
+	Frees        uint64
+	Splits       uint64
+	Coalesces    uint64
+	PeakUsed     uint64
+	FailedAllocs uint64
 }
 
 // NewBuddy creates an allocator managing size bytes starting at base.
@@ -57,76 +119,127 @@ func NewBuddy(base Addr, size uint64, minOrder uint) (*Buddy, error) {
 	if size == 0 || size&(size-1) != 0 {
 		return nil, fmt.Errorf("mem: buddy size %d not a power of two", size)
 	}
-	maxOrder := uint(0)
-	for 1<<maxOrder < size {
-		maxOrder++
-	}
+	maxOrder := uint(bits.Len64(size) - 1)
 	if maxOrder < minOrder {
 		return nil, fmt.Errorf("mem: region smaller than min block")
+	}
+	nIdx := size >> minOrder
+	if nIdx > 1<<31 {
+		return nil, fmt.Errorf("mem: region of %d min blocks exceeds intrusive metadata index space", nIdx)
 	}
 	b := &Buddy{
 		base:      base,
 		size:      size,
 		minOrder:  minOrder,
 		maxOrder:  maxOrder,
-		freeLists: make([][]uint64, maxOrder+1),
-		allocated: make(map[uint64]uint),
-		blockFree: make(map[uint64]bool),
+		pages:     make([][]blockMeta, (nIdx+metaPageLen-1)/metaPageLen),
+		freeHead:  make([]int32, maxOrder+1),
 		FreeBytes: size,
+	}
+	for i := range b.freeHead {
+		b.freeHead[i] = noBlock
 	}
 	b.pushFree(0, maxOrder)
 	return b, nil
 }
 
-// freeKey packs (offset, order) into one map key. Orders are < 64, so
-// six low bits suffice; offsets stay well clear of the top six bits for
-// any realistic region size.
-func freeKey(off uint64, order uint) uint64 {
-	return off<<6 | uint64(order)
-}
-
-func (b *Buddy) pushFree(off uint64, order uint) {
-	b.freeLists[order] = append(b.freeLists[order], off)
-	b.blockFree[freeKey(off, order)] = true
-}
-
-// popFreeAt removes a specific free block (off, order); returns false if
-// it is not free at that order.
-func (b *Buddy) popFreeAt(off uint64, order uint) bool {
-	k := freeKey(off, order)
-	if !b.blockFree[k] {
-		return false
+// metaAt returns the metadata entry for idx, or nil if its page was
+// never materialized (no block head has ever lived there).
+func (b *Buddy) metaAt(idx uint64) *blockMeta {
+	pg := b.pages[idx>>metaPageBits]
+	if pg == nil {
+		return nil
 	}
-	delete(b.blockFree, k)
-	list := b.freeLists[order]
-	for i, o := range list {
-		if o == off {
-			list[i] = list[len(list)-1]
-			b.freeLists[order] = list[:len(list)-1]
-			return true
+	return &pg[idx&metaPageMask]
+}
+
+// metaEnsure returns the metadata entry for idx, materializing its page.
+func (b *Buddy) metaEnsure(idx uint64) *blockMeta {
+	pi := idx >> metaPageBits
+	pg := b.pages[pi]
+	if pg == nil {
+		pg = make([]blockMeta, metaPageLen)
+		b.pages[pi] = pg
+	}
+	return &pg[idx&metaPageMask]
+}
+
+// pushFree links the block at idx onto the head of order's free list.
+func (b *Buddy) pushFree(idx uint64, order uint) {
+	e := b.metaEnsure(idx)
+	e.state = blockFree
+	e.order = uint8(order)
+	e.prev = noBlock
+	e.next = b.freeHead[order]
+	if e.next != noBlock {
+		b.metaAt(uint64(e.next)).prev = int32(idx)
+	}
+	b.freeHead[order] = int32(idx)
+	b.freeMask |= 1 << order
+}
+
+// popHead unlinks and returns the head of order's free list, which the
+// caller has checked is non-empty.
+func (b *Buddy) popHead(order uint) (uint64, *blockMeta) {
+	idx := uint64(b.freeHead[order])
+	e := b.metaAt(idx)
+	b.freeHead[order] = e.next
+	if e.next != noBlock {
+		b.metaAt(uint64(e.next)).prev = noBlock
+	} else {
+		b.freeMask &^= 1 << order
+	}
+	e.state = blockInterior
+	return idx, e
+}
+
+// removeFreeAt detaches the free block at idx (its meta entry e, on
+// order's list) for coalescing. It preserves the reference engine's
+// swap-with-last slice discipline — the list head moves into the removed
+// block's position — so both engines return identical address sequences
+// for any operation trace (the differential fuzzer asserts this).
+func (b *Buddy) removeFreeAt(idx uint64, e *blockMeta, order uint) {
+	h := b.freeHead[order]
+	if uint64(h) == idx {
+		b.freeHead[order] = e.next
+		if e.next != noBlock {
+			b.metaAt(uint64(e.next)).prev = noBlock
+		} else {
+			b.freeMask &^= 1 << order
 		}
+		e.state = blockInterior
+		return
 	}
-	return false
-}
-
-func (b *Buddy) popAnyFree(order uint) (uint64, bool) {
-	list := b.freeLists[order]
-	if len(list) == 0 {
-		return 0, false
+	// Detach the head, then splice it into idx's position. If idx was
+	// directly after the head, detaching updates e.prev to noBlock and
+	// the splice below reinstalls the head correctly.
+	he := b.metaAt(uint64(h))
+	b.freeHead[order] = he.next
+	if he.next != noBlock {
+		b.metaAt(uint64(he.next)).prev = noBlock
 	}
-	off := list[len(list)-1]
-	b.freeLists[order] = list[:len(list)-1]
-	delete(b.blockFree, freeKey(off, order))
-	return off, true
+	he.prev = e.prev
+	he.next = e.next
+	if e.prev != noBlock {
+		b.metaAt(uint64(e.prev)).next = h
+	} else {
+		b.freeHead[order] = h
+	}
+	if e.next != noBlock {
+		b.metaAt(uint64(e.next)).prev = h
+	}
+	e.state = blockInterior
 }
 
 // orderFor returns the smallest order whose block size fits n bytes.
 func (b *Buddy) orderFor(n uint64) uint {
-	o := b.minOrder
-	for uint64(1)<<o < n {
-		o++
+	if n <= 1<<b.minOrder {
+		return b.minOrder
 	}
-	return o
+	if n > 1<<63 {
+		return 64 // unsatisfiable; Alloc turns this into ErrOutOfMemory
+	}
+	return uint(bits.Len64(n - 1))
 }
 
 // BlockSize returns the allocation granularity for a request of n bytes.
@@ -139,30 +252,25 @@ func (b *Buddy) Alloc(n uint64) (Addr, error) {
 	}
 	order := b.orderFor(n)
 	if order > b.maxOrder {
-		b.FailedAllo++
+		b.FailedAllocs++
 		return 0, ErrOutOfMemory
 	}
-	// Find the smallest free block at or above the needed order.
-	cur := order
-	for cur <= b.maxOrder {
-		if len(b.freeLists[cur]) > 0 {
-			break
-		}
-		cur++
-	}
-	if cur > b.maxOrder {
-		b.FailedAllo++
+	// Smallest free order at or above the needed one, in one bit scan.
+	avail := b.freeMask >> order
+	if avail == 0 {
+		b.FailedAllocs++
 		return 0, ErrOutOfMemory
 	}
-	off, _ := b.popAnyFree(cur)
-	// Split down to the needed order.
+	cur := order + uint(bits.TrailingZeros64(avail))
+	idx, e := b.popHead(cur)
+	// Split down to the needed order, freeing each high half.
 	for cur > order {
 		cur--
 		b.Splits++
-		buddy := off + (1 << cur)
-		b.pushFree(buddy, cur)
+		b.pushFree(idx+(uint64(1)<<(cur-b.minOrder)), cur)
 	}
-	b.allocated[off] = order
+	e.state = blockAllocated
+	e.order = uint8(order)
 	sz := uint64(1) << order
 	b.FreeBytes -= sz
 	b.UsedBytes += sz
@@ -170,45 +278,64 @@ func (b *Buddy) Alloc(n uint64) (Addr, error) {
 		b.PeakUsed = b.UsedBytes
 	}
 	b.Allocs++
-	return b.base + Addr(off), nil
+	b.live++
+	return b.base + Addr(idx<<b.minOrder), nil
 }
 
 // Free releases a previously allocated block, coalescing with its buddy
 // chain where possible.
 func (b *Buddy) Free(a Addr) error {
-	off := uint64(a - b.base)
-	order, ok := b.allocated[off]
-	if !ok {
+	if a < b.base {
 		return ErrBadFree
 	}
-	delete(b.allocated, off)
+	off := uint64(a - b.base)
+	if off >= b.size || off&((1<<b.minOrder)-1) != 0 {
+		return ErrBadFree
+	}
+	idx := off >> b.minOrder
+	e := b.metaAt(idx)
+	if e == nil || e.state != blockAllocated {
+		return ErrBadFree
+	}
+	order := uint(e.order)
+	e.state = blockInterior
 	sz := uint64(1) << order
 	b.FreeBytes += sz
 	b.UsedBytes -= sz
 	b.Frees++
-	// Coalesce upward.
+	b.live--
+	// Coalesce upward: absorb the buddy while it is free at our order.
 	for order < b.maxOrder {
-		buddy := off ^ (1 << order)
-		if !b.popFreeAt(buddy, order) {
+		budIdx := idx ^ (uint64(1) << (order - b.minOrder))
+		be := b.metaAt(budIdx)
+		if be == nil || be.state != blockFree || uint(be.order) != order {
 			break
 		}
+		b.removeFreeAt(budIdx, be, order)
 		b.Coalesces++
-		if buddy < off {
-			off = buddy
+		if budIdx < idx {
+			idx = budIdx
 		}
 		order++
 	}
-	b.pushFree(off, order)
+	b.pushFree(idx, order)
 	return nil
 }
 
 // SizeOf returns the block size backing the allocation at a.
 func (b *Buddy) SizeOf(a Addr) (uint64, bool) {
-	order, ok := b.allocated[uint64(a-b.base)]
-	if !ok {
+	if a < b.base {
 		return 0, false
 	}
-	return 1 << order, true
+	off := uint64(a - b.base)
+	if off >= b.size || off&((1<<b.minOrder)-1) != 0 {
+		return 0, false
+	}
+	e := b.metaAt(off >> b.minOrder)
+	if e == nil || e.state != blockAllocated {
+		return 0, false
+	}
+	return 1 << uint(e.order), true
 }
 
 // Base returns the region base address.
@@ -218,36 +345,111 @@ func (b *Buddy) Base() Addr { return b.base }
 func (b *Buddy) Size() uint64 { return b.size }
 
 // LiveAllocs returns the number of outstanding allocations.
-func (b *Buddy) LiveAllocs() int { return len(b.allocated) }
+func (b *Buddy) LiveAllocs() int { return b.live }
 
 // LargestFree returns the size of the largest free block — the metric
 // that defragmentation (CARAT's memory mobility, §IV-A) improves.
 func (b *Buddy) LargestFree() uint64 {
-	for o := int(b.maxOrder); o >= int(b.minOrder); o-- {
-		if len(b.freeLists[o]) > 0 {
-			return 1 << uint(o)
-		}
+	if b.freeMask == 0 {
+		return 0
 	}
-	return 0
+	return 1 << uint(bits.Len64(b.freeMask)-1)
 }
 
-// CheckInvariants validates internal consistency; used by property tests.
+// Stats returns a snapshot of the allocator's counters.
+func (b *Buddy) Stats() BuddyStats {
+	return BuddyStats{
+		FreeBytes: b.FreeBytes, UsedBytes: b.UsedBytes,
+		Allocs: b.Allocs, Frees: b.Frees,
+		Splits: b.Splits, Coalesces: b.Coalesces,
+		PeakUsed: b.PeakUsed, FailedAllocs: b.FailedAllocs,
+		Live: b.live,
+	}
+}
+
+// CheckInvariants validates internal consistency; used by property tests
+// and the differential fuzzer. Beyond alignment and byte accounting, it
+// cross-checks the free lists against the intrusive metadata in both
+// directions: every list entry must be a block head marked free at the
+// list's order with intact linkage, and every free-marked head reached
+// by walking the region's block coverage must be present on its list.
 func (b *Buddy) CheckInvariants() error {
-	var free uint64
-	for o, list := range b.freeLists {
-		for _, off := range list {
-			if off%(1<<uint(o)) != 0 {
-				return fmt.Errorf("free block 0x%x misaligned for order %d", off, o)
+	total := b.size >> b.minOrder
+	onList := make(map[uint64]uint)
+	for o := b.minOrder; o <= b.maxOrder; o++ {
+		n := 0
+		prev := noBlock
+		for cur := b.freeHead[o]; cur != noBlock; {
+			if n++; uint64(n) > total {
+				return fmt.Errorf("order %d free list does not terminate", o)
 			}
-			free += 1 << uint(o)
+			idx := uint64(cur)
+			if idx >= total {
+				return fmt.Errorf("order %d free list holds out-of-range index %d", o, idx)
+			}
+			e := b.metaAt(idx)
+			if e == nil {
+				return fmt.Errorf("order %d free list references unmaterialized block 0x%x", o, idx<<b.minOrder)
+			}
+			if e.state != blockFree {
+				return fmt.Errorf("free-list entry 0x%x (order %d) not marked free in metadata (state %d)", idx<<b.minOrder, o, e.state)
+			}
+			if uint(e.order) != o {
+				return fmt.Errorf("free-list entry 0x%x on order-%d list has metadata order %d", idx<<b.minOrder, o, e.order)
+			}
+			if e.prev != prev {
+				return fmt.Errorf("order %d free list linkage broken at 0x%x (prev %d, want %d)", o, idx<<b.minOrder, e.prev, prev)
+			}
+			if idx&((uint64(1)<<(o-b.minOrder))-1) != 0 {
+				return fmt.Errorf("free block 0x%x misaligned for order %d", idx<<b.minOrder, o)
+			}
+			if _, dup := onList[idx]; dup {
+				return fmt.Errorf("block 0x%x appears on more than one free list", idx<<b.minOrder)
+			}
+			onList[idx] = o
+			prev = cur
+			cur = e.next
+		}
+		if ((b.freeMask>>o)&1 == 1) != (b.freeHead[o] != noBlock) {
+			return fmt.Errorf("freeMask bit %d disagrees with free list head", o)
 		}
 	}
-	var used uint64
-	for off, o := range b.allocated {
-		if off%(1<<o) != 0 {
-			return fmt.Errorf("allocated block 0x%x misaligned for order %d", off, o)
+	// Coverage walk: the region must partition exactly into block heads.
+	var free, used uint64
+	liveCount, freeHeads := 0, 0
+	for idx := uint64(0); idx < total; {
+		e := b.metaAt(idx)
+		if e == nil {
+			return fmt.Errorf("no block head at 0x%x", idx<<b.minOrder)
 		}
-		used += 1 << o
+		o := uint(e.order)
+		if o < b.minOrder || o > b.maxOrder {
+			return fmt.Errorf("block 0x%x has impossible order %d", idx<<b.minOrder, o)
+		}
+		if idx&((uint64(1)<<(o-b.minOrder))-1) != 0 {
+			return fmt.Errorf("block 0x%x misaligned for order %d", idx<<b.minOrder, o)
+		}
+		switch e.state {
+		case blockFree:
+			lo, ok := onList[idx]
+			if !ok {
+				return fmt.Errorf("block 0x%x marked free (order %d) but absent from its free list", idx<<b.minOrder, o)
+			}
+			if lo != o {
+				return fmt.Errorf("block 0x%x free at order %d but listed at order %d", idx<<b.minOrder, o, lo)
+			}
+			free += 1 << o
+			freeHeads++
+		case blockAllocated:
+			used += 1 << o
+			liveCount++
+		default:
+			return fmt.Errorf("expected a block head at 0x%x, found interior metadata", idx<<b.minOrder)
+		}
+		idx += uint64(1) << (o - b.minOrder)
+	}
+	if freeHeads != len(onList) {
+		return fmt.Errorf("free lists hold %d blocks, coverage found %d", len(onList), freeHeads)
 	}
 	if free != b.FreeBytes {
 		return fmt.Errorf("free bytes %d != accounted %d", free, b.FreeBytes)
@@ -257,6 +459,9 @@ func (b *Buddy) CheckInvariants() error {
 	}
 	if free+used != b.size {
 		return fmt.Errorf("free %d + used %d != size %d", free, used, b.size)
+	}
+	if liveCount != b.live {
+		return fmt.Errorf("live allocations %d != accounted %d", liveCount, b.live)
 	}
 	return nil
 }

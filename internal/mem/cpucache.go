@@ -1,0 +1,300 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Per-allocation order bookkeeping for the cache's unlocked free path
+// lives in fixed-size pages under a table sized at NewCPUCache, so the
+// table itself is never reallocated and entries are written only under
+// the zone lock (at refill/bypass time, before the address escapes).
+const (
+	orderPageBits = 12
+	orderPageLen  = 1 << orderPageBits
+	orderPageMask = orderPageLen - 1
+)
+
+// CPUCacheStats accounts one CPU's traffic through the magazine layer.
+type CPUCacheStats struct {
+	Allocs   uint64 // AllocOn calls
+	Frees    uint64 // FreeOn calls
+	Hits     uint64 // allocations served from the local magazine
+	Misses   uint64 // allocations that had to touch the shared zone
+	Refills  uint64 // batched magazine refills from the zone
+	Flushes  uint64 // batched magazine flushes back to the zone
+	Bypasses uint64 // requests too large for magazines (direct zone ops)
+}
+
+// Add accumulates o into s.
+func (s *CPUCacheStats) Add(o CPUCacheStats) {
+	s.Allocs += o.Allocs
+	s.Frees += o.Frees
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Refills += o.Refills
+	s.Flushes += o.Flushes
+	s.Bypasses += o.Bypasses
+}
+
+// HitRate returns the fraction of AllocOn calls served without touching
+// the shared zone.
+func (s CPUCacheStats) HitRate() float64 {
+	if s.Allocs == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Allocs)
+}
+
+// cpuMag is one CPU's private magazine set: a LIFO stack of cached
+// blocks per size class. Padding keeps neighboring CPUs' hot state off
+// each other's cache lines.
+type cpuMag struct {
+	mags  [][]Addr
+	stats CPUCacheStats
+	_     [64]byte
+}
+
+// CPUCache is a concurrent per-CPU magazine front-end over one shared
+// zone Buddy, the partitioned-caching design kernel allocators use so
+// many cores can hammer one NUMA zone: each CPU keeps small per-size
+// magazines of blocks it can allocate from and free to with no locking
+// at all, refilled from and flushed to the shared buddy in batches under
+// the per-zone mutex.
+//
+// Contract: cpu identifies the caller's CPU, and concurrent callers must
+// pass distinct cpu values (per-CPU state is unsynchronized by design,
+// exactly like a kernel's per-CPU data). A zone with an attached cache
+// must be allocated from and freed to only through the cache. FreeOn
+// requires the usual Go happens-before edge between the goroutine that
+// obtained the address and the one freeing it — true of any correct
+// hand-off. Double frees into a magazine are detected lazily, at the
+// flush or Drain that returns the block to the zone.
+type CPUCache struct {
+	mu   sync.Mutex // guards zone and orderPages writes
+	zone *Buddy
+
+	magCap      int  // per-CPU per-class magazine capacity
+	maxMagOrder uint // orders above this bypass the magazines
+
+	orderPages [][]uint8
+
+	cpus []cpuMag
+}
+
+// DefaultMagazineCap is the per-CPU per-size-class magazine capacity
+// used when NewCPUCache is given magCap <= 0.
+const DefaultMagazineCap = 32
+
+// magOrderSpan bounds how many size classes (starting at the zone's min
+// order) the magazines cache; larger blocks are rare and go straight to
+// the zone under the lock.
+const magOrderSpan = 10
+
+// NewCPUCache builds a magazine front-end over zone for cpus CPUs.
+// magCap <= 0 selects DefaultMagazineCap.
+func NewCPUCache(zone *Buddy, cpus int, magCap int) (*CPUCache, error) {
+	if cpus <= 0 {
+		return nil, fmt.Errorf("mem: cpu cache needs at least one CPU")
+	}
+	if magCap <= 0 {
+		magCap = DefaultMagazineCap
+	}
+	maxMag := zone.minOrder + magOrderSpan - 1
+	if maxMag > zone.maxOrder {
+		maxMag = zone.maxOrder
+	}
+	nIdx := zone.size >> zone.minOrder
+	c := &CPUCache{
+		zone:        zone,
+		magCap:      magCap,
+		maxMagOrder: maxMag,
+		orderPages:  make([][]uint8, (nIdx+orderPageLen-1)/orderPageLen),
+		cpus:        make([]cpuMag, cpus),
+	}
+	classes := int(maxMag - zone.minOrder + 1)
+	for i := range c.cpus {
+		mags := make([][]Addr, classes)
+		for j := range mags {
+			mags[j] = make([]Addr, 0, magCap)
+		}
+		c.cpus[i].mags = mags
+	}
+	return c, nil
+}
+
+// Zone returns the shared buddy behind the cache. Callers must hold no
+// blocks' fate in their hands: direct zone mutation bypasses the cache's
+// bookkeeping and violates its contract.
+func (c *CPUCache) Zone() *Buddy { return c.zone }
+
+// setOrder records the order of a live allocation. Caller holds c.mu.
+func (c *CPUCache) setOrder(a Addr, order uint) {
+	idx := uint64(a-c.zone.base) >> c.zone.minOrder
+	pi := idx >> orderPageBits
+	pg := c.orderPages[pi]
+	if pg == nil {
+		pg = make([]uint8, orderPageLen)
+		c.orderPages[pi] = pg
+	}
+	pg[idx&orderPageMask] = uint8(order)
+}
+
+// getOrder reads a live allocation's recorded order without the lock;
+// returns 0 (an impossible order for a magazine class) when unknown.
+func (c *CPUCache) getOrder(idx uint64) uint {
+	pg := c.orderPages[idx>>orderPageBits]
+	if pg == nil {
+		return 0
+	}
+	return uint(pg[idx&orderPageMask])
+}
+
+// AllocOn allocates at least n bytes on behalf of cpu. Magazine hits
+// complete with no locking and no shared-state traffic; misses refill
+// the magazine with a batch of blocks under the zone lock.
+func (c *CPUCache) AllocOn(cpu int, n uint64) (Addr, error) {
+	m := &c.cpus[cpu]
+	m.stats.Allocs++
+	if n == 0 {
+		n = 1
+	}
+	order := c.zone.orderFor(n)
+	if order > c.maxMagOrder {
+		m.stats.Bypasses++
+		m.stats.Misses++
+		c.mu.Lock()
+		a, err := c.zone.Alloc(n)
+		if err == nil {
+			c.setOrder(a, order)
+		}
+		c.mu.Unlock()
+		return a, err
+	}
+	class := order - c.zone.minOrder
+	mag := m.mags[class]
+	if len(mag) > 0 {
+		a := mag[len(mag)-1]
+		m.mags[class] = mag[:len(mag)-1]
+		m.stats.Hits++
+		return a, nil
+	}
+	// Refill: pull a half-magazine batch from the zone in one critical
+	// section, keeping one block for the caller.
+	m.stats.Misses++
+	batch := c.magCap / 2
+	if batch < 1 {
+		batch = 1
+	}
+	var err error
+	c.mu.Lock()
+	for i := 0; i < batch; i++ {
+		var a Addr
+		a, err = c.zone.Alloc(uint64(1) << order)
+		if err != nil {
+			break
+		}
+		c.setOrder(a, order)
+		mag = append(mag, a)
+	}
+	c.mu.Unlock()
+	if len(mag) == 0 {
+		return 0, err
+	}
+	m.stats.Refills++
+	a := mag[len(mag)-1]
+	m.mags[class] = mag[:len(mag)-1]
+	return a, nil
+}
+
+// FreeOn releases a block previously returned by AllocOn (or the zone's
+// bypass path) on behalf of cpu. Magazine pushes complete with no
+// locking; a full magazine flushes its older half back to the zone in
+// one critical section.
+func (c *CPUCache) FreeOn(cpu int, a Addr) error {
+	m := &c.cpus[cpu]
+	m.stats.Frees++
+	if a < c.zone.base {
+		return ErrBadFree
+	}
+	off := uint64(a - c.zone.base)
+	if off >= c.zone.size || off&((uint64(1)<<c.zone.minOrder)-1) != 0 {
+		return ErrBadFree
+	}
+	order := c.getOrder(off >> c.zone.minOrder)
+	if order < c.zone.minOrder || order > c.maxMagOrder {
+		// Bypass-sized block, or an address the cache never handed out:
+		// let the zone sort it out (and report bad frees) under the lock.
+		m.stats.Bypasses++
+		c.mu.Lock()
+		err := c.zone.Free(a)
+		c.mu.Unlock()
+		return err
+	}
+	class := order - c.zone.minOrder
+	mag := m.mags[class]
+	if len(mag) >= c.magCap {
+		half := c.magCap / 2
+		if half < 1 {
+			half = 1
+		}
+		var err error
+		c.mu.Lock()
+		for _, b := range mag[:half] {
+			if e := c.zone.Free(b); e != nil && err == nil {
+				err = e
+			}
+		}
+		c.mu.Unlock()
+		n := copy(mag, mag[half:])
+		mag = mag[:n]
+		m.stats.Flushes++
+		if err != nil {
+			m.mags[class] = mag
+			return err
+		}
+	}
+	m.mags[class] = append(mag, a)
+	return nil
+}
+
+// Drain flushes every CPU's magazines back to the zone. It is not safe
+// to race with AllocOn/FreeOn (quiesce first, as with CPU hotplug);
+// tests use it to reconcile per-goroutine accounting against the zone.
+func (c *CPUCache) Drain() error {
+	var firstErr error
+	c.mu.Lock()
+	for i := range c.cpus {
+		for j, mag := range c.cpus[i].mags {
+			for _, a := range mag {
+				if e := c.zone.Free(a); e != nil && firstErr == nil {
+					firstErr = e
+				}
+			}
+			c.cpus[i].mags[j] = mag[:0]
+		}
+	}
+	c.mu.Unlock()
+	return firstErr
+}
+
+// StatsOn returns cpu's private counters.
+func (c *CPUCache) StatsOn(cpu int) CPUCacheStats { return c.cpus[cpu].stats }
+
+// Stats aggregates all CPUs' counters. Like Drain, it expects the cache
+// to be quiesced (per-CPU counters are unsynchronized by design).
+func (c *CPUCache) Stats() CPUCacheStats {
+	var total CPUCacheStats
+	for i := range c.cpus {
+		total.Add(c.cpus[i].stats)
+	}
+	return total
+}
+
+// ZoneStats snapshots the shared zone's allocator counters under the
+// zone lock, so it is safe to call while other CPUs allocate.
+func (c *CPUCache) ZoneStats() BuddyStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zone.Stats()
+}

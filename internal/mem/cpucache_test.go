@@ -1,0 +1,256 @@
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newCacheT(t *testing.T, size uint64, cpus, magCap int) *CPUCache {
+	t.Helper()
+	zone, err := NewBuddy(0x1000, size, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCPUCache(zone, cpus, magCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCPUCacheHitAfterFree(t *testing.T) {
+	c := newCacheT(t, 1<<20, 2, 8)
+	a, err := c.AllocOn(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.StatsOn(0); st.Misses != 1 || st.Refills != 1 || st.Hits != 0 {
+		t.Fatalf("first alloc stats = %+v", st)
+	}
+	// The refill batch leaves blocks in the magazine: the next alloc of
+	// the same class must hit without touching the zone.
+	zoneAllocs := c.ZoneStats().Allocs
+	b, err := c.AllocOn(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ZoneStats().Allocs != zoneAllocs {
+		t.Fatal("magazine hit touched the zone")
+	}
+	if st := c.StatsOn(0); st.Hits != 1 {
+		t.Fatalf("stats after hit = %+v", st)
+	}
+	// Freeing and reallocating stays CPU-local (LIFO reuse).
+	if err := c.FreeOn(0, b); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.AllocOn(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b {
+		t.Fatalf("LIFO reuse gave %#x, want %#x", b2, b)
+	}
+	if err := c.FreeOn(0, b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeOn(0, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUCacheFlushOnFull(t *testing.T) {
+	const magCap = 4
+	c := newCacheT(t, 1<<20, 1, magCap)
+	// Fill one magazine past capacity: allocate magCap+1 blocks, free all.
+	var addrs []Addr
+	for i := 0; i < magCap+1; i++ {
+		a, err := c.AllocOn(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := c.FreeOn(0, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.StatsOn(0); st.Flushes == 0 {
+		t.Fatalf("expected a flush, stats = %+v", st)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if live := c.Zone().LiveAllocs(); live != 0 {
+		t.Fatalf("%d blocks leak after drain", live)
+	}
+	if err := c.Zone().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUCacheBypassLargeBlocks(t *testing.T) {
+	c := newCacheT(t, 1<<24, 1, 8)
+	// magOrderSpan classes start at minOrder 6, so order 16 (64 KiB)
+	// exceeds maxMagOrder 15 and must bypass the magazines.
+	a, err := c.AllocOn(0, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.StatsOn(0); st.Bypasses != 1 {
+		t.Fatalf("alloc bypasses = %d, want 1", st.Bypasses)
+	}
+	if err := c.FreeOn(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.StatsOn(0); st.Bypasses != 2 {
+		t.Fatalf("free bypasses = %d, want 2", st.Bypasses)
+	}
+	if live := c.Zone().LiveAllocs(); live != 0 {
+		t.Fatalf("bypass free leaked, live = %d", live)
+	}
+}
+
+func TestCPUCacheBadFree(t *testing.T) {
+	c := newCacheT(t, 1<<20, 1, 8)
+	if err := c.FreeOn(0, Addr(0x10)); err != ErrBadFree {
+		t.Fatalf("below-base free err = %v, want ErrBadFree", err)
+	}
+	if err := c.FreeOn(0, c.Zone().Base()+1); err != ErrBadFree {
+		t.Fatalf("misaligned free err = %v, want ErrBadFree", err)
+	}
+	if err := c.FreeOn(0, c.Zone().Base()+64); err != ErrBadFree {
+		t.Fatalf("never-allocated free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestCPUCacheStatsAggregate(t *testing.T) {
+	c := newCacheT(t, 1<<20, 4, 8)
+	for cpu := 0; cpu < 4; cpu++ {
+		a, err := c.AllocOn(cpu, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.FreeOn(cpu, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Allocs != 4 || st.Frees != 4 || st.Misses != 4 {
+		t.Fatalf("aggregate = %+v", st)
+	}
+	if st.HitRate() != 0 {
+		t.Fatalf("hit rate = %f with no hits", st.HitRate())
+	}
+}
+
+// TestCPUCacheConcurrent hammers one zone's cache from GOMAXPROCS
+// goroutines under the race detector. Every goroutine owns one cpu slot
+// and does its own accounting (blocks it holds, ops it completed); at
+// the end the magazines are drained and the zone must reconcile exactly:
+// zero live blocks, all bytes free, invariants clean, and the aggregate
+// cache stats must match the sum of per-goroutine op counts.
+func TestCPUCacheConcurrent(t *testing.T) {
+	cpus := runtime.GOMAXPROCS(0)
+	if cpus < 2 {
+		cpus = 2
+	}
+	zone, err := NewBuddy(0, 64<<20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCPUCache(zone, cpus, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const opsPerCPU = 20_000
+	allocCounts := make([]uint64, cpus)
+	freeCounts := make([]uint64, cpus)
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < cpus; cpu++ {
+		cpu := cpu
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(cpu)*7919 + 17)
+			var held []Addr
+			for op := 0; op < opsPerCPU; op++ {
+				if rng.Intn(2) == 0 || len(held) == 0 {
+					n := uint64(1) << (6 + uint(rng.Intn(5)))
+					a, err := c.AllocOn(cpu, n)
+					if err != nil {
+						t.Errorf("cpu %d: AllocOn: %v", cpu, err)
+						return
+					}
+					held = append(held, a)
+					allocCounts[cpu]++
+				} else {
+					i := rng.Intn(len(held))
+					if err := c.FreeOn(cpu, held[i]); err != nil {
+						t.Errorf("cpu %d: FreeOn: %v", cpu, err)
+						return
+					}
+					held[i] = held[len(held)-1]
+					held = held[:len(held)-1]
+					freeCounts[cpu]++
+				}
+			}
+			for _, a := range held {
+				if err := c.FreeOn(cpu, a); err != nil {
+					t.Errorf("cpu %d: teardown FreeOn: %v", cpu, err)
+					return
+				}
+				freeCounts[cpu]++
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if live := zone.LiveAllocs(); live != 0 {
+		t.Fatalf("%d blocks still live after drain", live)
+	}
+	if zone.FreeBytes != zone.Size() {
+		t.Fatalf("free bytes %d != zone size %d after drain", zone.FreeBytes, zone.Size())
+	}
+	if err := zone.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var wantAllocs, wantFrees uint64
+	for cpu := 0; cpu < cpus; cpu++ {
+		wantAllocs += allocCounts[cpu]
+		wantFrees += freeCounts[cpu]
+		st := c.StatsOn(cpu)
+		if st.Allocs != allocCounts[cpu] || st.Frees != freeCounts[cpu] {
+			t.Fatalf("cpu %d stats %+v, accounted allocs=%d frees=%d",
+				cpu, st, allocCounts[cpu], freeCounts[cpu])
+		}
+	}
+	st := c.Stats()
+	if st.Allocs != wantAllocs || st.Frees != wantFrees {
+		t.Fatalf("aggregate %+v, accounted allocs=%d frees=%d", st, wantAllocs, wantFrees)
+	}
+	if wantAllocs != wantFrees {
+		t.Fatalf("allocs %d != frees %d after teardown", wantAllocs, wantFrees)
+	}
+	if st.Hits == 0 {
+		t.Fatal("magazine layer recorded zero hits under a churn workload")
+	}
+}
+
+func TestCPUCacheRejectsZeroCPUs(t *testing.T) {
+	zone, _ := NewBuddy(0, 1<<12, 4)
+	if _, err := NewCPUCache(zone, 0, 8); err == nil {
+		t.Fatal("expected error for zero CPUs")
+	}
+}

@@ -1,13 +1,18 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Zone is a NUMA memory zone backed by its own buddy allocator, matching
 // Nautilus's "allocations are done with buddy system allocators that are
-// selected based on the target zone" (§III).
+// selected based on the target zone" (§III). When a cache is attached
+// (AttachCaches), Cache is the zone's concurrent per-CPU front-end.
 type Zone struct {
 	ID    int
 	Buddy *Buddy
+	Cache *CPUCache
 }
 
 // NUMA models the machine's zones and zone-distance matrix.
@@ -16,6 +21,10 @@ type NUMA struct {
 	// distance[i][j] is the relative access cost from zone i to zone j
 	// (10 = local, SLIT-style).
 	distance [][]int
+	// fallback[i] lists every zone other than i in increasing distance
+	// from i (ties by zone ID), precomputed so the Alloc fallback path
+	// does no per-call candidate sorting.
+	fallback [][]int
 }
 
 // NewNUMA builds n zones of zoneSize bytes each (power of two), with a
@@ -42,7 +51,44 @@ func NewNUMA(n int, zoneSize uint64, minOrder uint) (*NUMA, error) {
 			}
 		}
 	}
+	numa.buildFallback()
 	return numa, nil
+}
+
+// buildFallback precomputes each zone's fallback order: all other zones
+// by increasing distance, ties broken by zone ID — the same sequence the
+// previous per-call min-scan produced, hoisted out of the hot path.
+func (n *NUMA) buildFallback() {
+	n.fallback = make([][]int, len(n.Zones))
+	for i := range n.Zones {
+		order := make([]int, 0, len(n.Zones)-1)
+		for j := range n.Zones {
+			if j != i {
+				order = append(order, j)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return n.distance[i][order[a]] < n.distance[i][order[b]]
+		})
+		n.fallback[i] = order
+	}
+}
+
+// AttachCaches gives every zone a concurrent per-CPU magazine front-end
+// (CPUCache) for cpus CPUs with the given per-class magazine capacity
+// (<= 0 selects DefaultMagazineCap). After attachment, allocation must
+// go through AllocOn/FreeOn (or each zone's Cache); the unsynchronized
+// Alloc/Free remain valid only for single-threaded use before any cache
+// traffic.
+func (n *NUMA) AttachCaches(cpus, magCap int) error {
+	for _, z := range n.Zones {
+		c, err := NewCPUCache(z.Buddy, cpus, magCap)
+		if err != nil {
+			return err
+		}
+		z.Cache = c
+	}
+	return nil
 }
 
 // Distance returns the SLIT-style distance between two zones.
@@ -68,29 +114,10 @@ func (n *NUMA) Alloc(preferred int, size uint64) (Addr, error) {
 	if a, err := n.Zones[preferred].Buddy.Alloc(size); err == nil {
 		return a, nil
 	}
-	// Fallback in increasing distance order.
-	type cand struct {
-		zone *Zone
-		dist int
-	}
-	var cands []cand
-	for i, z := range n.Zones {
-		if i == preferred {
-			continue
-		}
-		cands = append(cands, cand{z, n.distance[preferred][i]})
-	}
-	for len(cands) > 0 {
-		best := 0
-		for i := 1; i < len(cands); i++ {
-			if cands[i].dist < cands[best].dist {
-				best = i
-			}
-		}
-		if a, err := cands[best].zone.Buddy.Alloc(size); err == nil {
+	for _, zi := range n.fallback[preferred] {
+		if a, err := n.Zones[zi].Buddy.Alloc(size); err == nil {
 			return a, nil
 		}
-		cands = append(cands[:best], cands[best+1:]...)
 	}
 	return 0, ErrOutOfMemory
 }
@@ -100,6 +127,44 @@ func (n *NUMA) Free(a Addr) error {
 	z := n.ZoneOf(a)
 	if z == nil {
 		return ErrBadFree
+	}
+	return z.Buddy.Free(a)
+}
+
+// AllocOn allocates size bytes on behalf of cpu, preferring the given
+// zone and falling back by distance, through each zone's CPUCache when
+// attached (concurrent-safe) and the raw buddy otherwise.
+func (n *NUMA) AllocOn(cpu, preferred int, size uint64) (Addr, error) {
+	if preferred < 0 || preferred >= len(n.Zones) {
+		return 0, fmt.Errorf("mem: bad zone %d", preferred)
+	}
+	if a, err := n.zoneAllocOn(cpu, preferred, size); err == nil {
+		return a, nil
+	}
+	for _, zi := range n.fallback[preferred] {
+		if a, err := n.zoneAllocOn(cpu, zi, size); err == nil {
+			return a, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+func (n *NUMA) zoneAllocOn(cpu, zone int, size uint64) (Addr, error) {
+	z := n.Zones[zone]
+	if z.Cache != nil {
+		return z.Cache.AllocOn(cpu, size)
+	}
+	return z.Buddy.Alloc(size)
+}
+
+// FreeOn releases an allocation made through AllocOn on behalf of cpu.
+func (n *NUMA) FreeOn(cpu int, a Addr) error {
+	z := n.ZoneOf(a)
+	if z == nil {
+		return ErrBadFree
+	}
+	if z.Cache != nil {
+		return z.Cache.FreeOn(cpu, a)
 	}
 	return z.Buddy.Free(a)
 }

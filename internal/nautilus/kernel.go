@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -56,6 +57,9 @@ type Config struct {
 	// used with TimingCompiler); this is the granularity the injected
 	// checks achieve.
 	CheckIntervalCycles int64
+	// ZoneBytes sizes each per-socket NUMA memory zone (power of two;
+	// 0 selects a 64 MiB default).
+	ZoneBytes uint64
 }
 
 // DefaultConfig returns a hardware-timer kernel with a 1 ms quantum.
@@ -73,10 +77,16 @@ type Kernel struct {
 	Model model.Model
 	Cfg   Config
 
-	cpus    []*cpuSched
-	nextTID int
-	threads []*Thread
-	taskqs  []*taskQueue
+	// Mem is the kernel's NUMA memory: one buddy-backed zone per socket,
+	// each fronted by a per-CPU magazine cache (see mem.go). Thread and
+	// task-framework state blocks are placed through it.
+	Mem *mem.NUMA
+
+	cpus     []*cpuSched
+	nextTID  int
+	threads  []*Thread
+	taskqs   []*taskQueue
+	memStats MemStats
 
 	// Stats.
 	Switches      int64
@@ -104,6 +114,7 @@ type cpuSched struct {
 // New creates a kernel over machine m.
 func New(m *machine.Machine, cfg Config) *Kernel {
 	k := &Kernel{M: m, Model: m.Model, Cfg: cfg}
+	k.initMem()
 	for _, cpu := range m.CPUs {
 		cs := &cpuSched{k: k, cpu: cpu, idle: true}
 		k.cpus = append(k.cpus, cs)
@@ -151,6 +162,14 @@ func (k *Kernel) Spawn(cpu int, cls Class, opts ThreadOpts, body func(*ThreadCtx
 		res:   make(chan struct{}),
 		kill:  make(chan struct{}),
 	}
+	// Place the thread's state block (stack + TCB; smaller for fibers) in
+	// the CPU's local zone — bound threads keep their essential state in
+	// the most desirable zone.
+	stateBytes := uint64(threadStateBytes)
+	if cls == ClassFiber {
+		stateBytes = fiberStateBytes
+	}
+	t.StateAddr, t.stateSize = k.allocState(cpu, stateBytes)
 	k.nextTID++
 	k.threads = append(k.threads, t)
 	k.Spawns++

@@ -2,6 +2,7 @@ package nautilus
 
 import (
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -35,7 +36,10 @@ type taskQueue struct {
 	ev    *Event
 	// daemon is the kthread that drains the queue outside IRQ context.
 	daemon *Thread
-	Stats  TaskStats
+	// stateAddr is the queue's control block, placed in the CPU's local
+	// NUMA zone (lives for the kernel's lifetime).
+	stateAddr mem.Addr
+	Stats     TaskStats
 }
 
 // InitTasks creates the per-CPU task framework and its daemon threads.
@@ -49,6 +53,7 @@ func (k *Kernel) InitTasks() {
 	for i := range k.cpus {
 		tq := &taskQueue{k: k, cpu: i}
 		tq.ev = NewEvent(k)
+		tq.stateAddr, _ = k.allocState(i, taskQueueBytes)
 		k.taskqs[i] = tq
 		tq.daemon = k.Spawn(i, ClassThread, ThreadOpts{}, func(tc *ThreadCtx) {
 			for {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,12 @@ type Thread struct {
 	CPU   int
 	Class Class
 	Opts  ThreadOpts
+
+	// StateAddr is the thread's simulated state block (stack + TCB),
+	// placed in its CPU's local NUMA zone at spawn; 0 if allocation
+	// failed under memory pressure.
+	StateAddr mem.Addr
+	stateSize uint64
 
 	body  func(*ThreadCtx)
 	state threadState
@@ -320,6 +327,10 @@ func (t *Thread) blockAndPickNext(cs *cpuSched) {
 // finish marks the thread done, wakes joiners, and schedules the next.
 func (t *Thread) finish(cs *cpuSched) {
 	t.state = stateDone
+	if t.stateSize != 0 {
+		cs.k.freeState(t.CPU, t.StateAddr, t.stateSize)
+		t.stateSize = 0
+	}
 	if t.doneEv != nil {
 		wakeCost := t.doneEv.wake(-1)
 		// Exit-path wake cost is charged to the scheduler switch below
