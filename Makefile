@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build vet lint test short race race-mem bench bench-mem benchsmoke all check
+# Minimum per-package statement coverage (percent) for the cover gate.
+COVER_FLOOR ?= 60
+
+.PHONY: build vet lint test short race race-mem bench bench-mem benchsmoke cover all check
 
 build:
 	$(GO) build ./...
@@ -45,9 +48,19 @@ bench-mem:
 benchsmoke:
 	$(GO) run ./cmd/benchdiff -quick
 
+# Per-package coverage gate over the internal packages: fails if any
+# package tests below $(COVER_FLOOR)% of statements (or has no tests at
+# all). Uses -short so it stays cheap enough for check.
+cover:
+	@$(GO) test -short -count=1 -cover ./internal/... | awk -v floor=$(COVER_FLOOR) '\
+		{ print } \
+		/\[no test files\]/ { bad = bad "  " $$2 " (no test files)\n" } \
+		$$1 == "ok" && /coverage:/ { if ($$5+0 < floor) bad = bad "  " $$2 " (" $$5 ")\n" } \
+		END { if (bad != "") { printf "\ncover: packages below the %s%% floor:\n%s", floor, bad; exit 1 } }'
+
 # Regenerate every table/figure (parallel across all cores by default).
 all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race race-mem benchsmoke
+check: build vet lint race race-mem cover benchsmoke

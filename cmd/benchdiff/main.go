@@ -137,6 +137,8 @@ func main() {
 	out := flag.String("o", "", "output file (default BENCH_interp.json, or BENCH_mem.json with -mem)")
 	quick := flag.Bool("quick", false, "equivalence smoke only; measure nothing, write nothing")
 	memMode := flag.Bool("mem", false, "benchmark the memory allocator instead of the interpreter")
+	chaosSeed := flag.Uint64("chaos-seed", 11,
+		"seed for the fault-injected allocator differential run by -quick")
 	flag.Parse()
 
 	if *quick {
@@ -145,6 +147,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := quickCheckMem(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		if err := quickCheckChaos(*chaosSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/workloads"
@@ -73,12 +74,15 @@ func main() {
 	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of aligned text")
 	parallel := fs.Int("parallel", 0,
 		"max concurrent experiment cells (0 = $INTERWEAVE_PARALLEL or GOMAXPROCS, 1 = sequential)")
+	chaosSeed := fs.Uint64("chaos-seed", 0,
+		"arm the fault-injection harness with this seed (0 = off); same seed replays the same faults")
 	_ = fs.Parse(os.Args[2:])
 
 	// stack applies the shared knobs to a freshly built stack.
 	stack := func(s *core.Stack) *core.Stack {
 		s.Seed = *seed
 		s.Parallel = *parallel
+		s.ChaosSeed = *chaosSeed
 		return s
 	}
 
@@ -155,6 +159,39 @@ func main() {
 		return tables
 	}
 
+	// runClean runs one experiment, converting a panic that carries an
+	// injected chaos fault into an error return. Experiment drivers
+	// panic on cell failure (runCells' discipline); under -chaos-seed a
+	// failure caused by an injected fault is an expected, typed outcome
+	// and should be reported cleanly, not as a stack trace.
+	runClean := func(name string) (tables []*core.Table, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e, ok := r.(error)
+				if !ok {
+					panic(r)
+				}
+				if _, isFault := chaos.AsFault(e); !isFault {
+					panic(r)
+				}
+				err = e
+			}
+		}()
+		return run(name), nil
+	}
+
+	// fail reports an experiment failure: injected chaos faults print a
+	// replay hint and exit 3, everything else exits 1.
+	fail := func(err error) {
+		if fe, ok := chaos.AsFault(err); ok {
+			fmt.Fprintf(os.Stderr, "chaos: experiment failed by injected fault %s\n", fe.Fault)
+			fmt.Fprintf(os.Stderr, "chaos: replay with -chaos-seed %d (same seed, same fault trace)\n", *chaosSeed)
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	print := func(tables []*core.Table) {
 		for _, t := range tables {
 			if *jsonOut {
@@ -173,18 +210,21 @@ func main() {
 		// print in canonical order once everything finished.
 		results, err := exp.Map(exp.New(*parallel), len(allExperiments),
 			func(i int) ([]*core.Table, error) {
-				return run(allExperiments[i]), nil
+				return runClean(allExperiments[i])
 			})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		for _, tables := range results {
 			print(tables)
 		}
 		return
 	}
-	print(run(cmd))
+	tables, err := runClean(cmd)
+	if err != nil {
+		fail(err)
+	}
+	print(tables)
 }
 
 // runLint is the `interweave lint` subcommand: run the static
@@ -300,5 +340,10 @@ tools:
 flags:
   -parallel N  max concurrent experiment cells; 0 (default) uses
                $INTERWEAVE_PARALLEL or GOMAXPROCS, 1 runs sequentially.
-               Output is byte-identical at every setting.`)
+               Output is byte-identical at every setting.
+  -chaos-seed N  arm the deterministic fault-injection harness
+               (internal/chaos): IPI loss/delay and timer jitter on
+               every simulated machine. Same seed => same faults =>
+               byte-identical output; injected failures exit 3 with a
+               typed report instead of a stack trace.`)
 }

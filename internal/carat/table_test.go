@@ -1,0 +1,144 @@
+package carat
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestSetPermTable drives permission changes through tracked, freed,
+// and never-tracked bases, including the ErrUntracked failure paths.
+func TestSetPermTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		track   []mem.Addr // regions of 64 bytes tracked before the call
+		free    []mem.Addr // then freed
+		base    mem.Addr
+		perm    Perm
+		wantErr error
+	}{
+		{name: "tracked-base", track: []mem.Addr{0x1000}, base: 0x1000, perm: PermRead},
+		{name: "tracked-to-none", track: []mem.Addr{0x1000}, base: 0x1000, perm: Perm(0)},
+		{name: "never-tracked", base: 0x1000, perm: PermRead, wantErr: ErrUntracked},
+		{name: "interior-pointer", track: []mem.Addr{0x1000}, base: 0x1008, perm: PermRead, wantErr: ErrUntracked},
+		{name: "freed-base", track: []mem.Addr{0x1000}, free: []mem.Addr{0x1000}, base: 0x1000, perm: PermRead, wantErr: ErrUntracked},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tab := NewTable()
+			for _, a := range tc.track {
+				tab.TrackAlloc(a, 64)
+			}
+			for _, a := range tc.free {
+				tab.TrackFree(a)
+			}
+			if err := tab.SetPerm(tc.base, tc.perm); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("SetPerm(%#x) = %v, want %v", tc.base, err, tc.wantErr)
+			}
+			if tc.wantErr == nil {
+				r, ok := tab.Lookup(tc.base)
+				if !ok || r.Perm != tc.perm {
+					t.Fatalf("perm not applied: %+v ok=%v", r, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestGuardViolationTable enumerates the guard outcomes: permitted
+// accesses, permission violations, and wild (untracked) accesses.
+func TestGuardViolationTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name     string
+		perm     Perm // permission on the 64-byte region at 0x2000
+		addr     mem.Addr
+		write    bool
+		wantViol int64
+	}{
+		{name: "read-allowed", perm: PermRW, addr: 0x2010, write: false, wantViol: 0},
+		{name: "write-allowed", perm: PermRW, addr: 0x2010, write: true, wantViol: 0},
+		{name: "write-to-readonly", perm: PermRead, addr: 0x2010, write: true, wantViol: 1},
+		{name: "read-from-none", perm: Perm(0), addr: 0x2010, write: false, wantViol: 1},
+		{name: "wild-read", perm: PermRW, addr: 0x9999, write: false, wantViol: 1},
+		{name: "one-past-end", perm: PermRW, addr: 0x2040, write: false, wantViol: 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tab := NewTable()
+			tab.TrackAlloc(0x2000, 64)
+			if err := tab.SetPerm(0x2000, tc.perm); err != nil {
+				t.Fatal(err)
+			}
+			cost := tab.Guard(tc.addr, tc.write)
+			if cost != tab.Costs.Guard {
+				t.Fatalf("guard cost = %d, want %d", cost, tab.Costs.Guard)
+			}
+			if tab.Violations != tc.wantViol {
+				t.Fatalf("violations = %d, want %d", tab.Violations, tc.wantViol)
+			}
+			if tab.GuardsChecked != 1 {
+				t.Fatalf("guards checked = %d, want 1", tab.GuardsChecked)
+			}
+		})
+	}
+}
+
+// TestRelocateErrorTable covers the relocation failure paths next to a
+// working move, using the interpreter heap as the Memory.
+func TestRelocateErrorTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		oldBase mem.Addr
+		wantErr error
+	}{
+		{name: "tracked-moves", oldBase: 0x1000},
+		{name: "untracked-base", oldBase: 0x5000, wantErr: ErrUntracked},
+		{name: "interior-base", oldBase: 0x1008, wantErr: ErrUntracked},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			h := newHeap(t)
+			tab := NewTable()
+			tab.TrackAlloc(0x1000, 64)
+			h.Store(0x1000, 0xdead)
+			_, err := tab.Relocate(h, tc.oldBase, 0x3000)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Relocate(%#x) error = %v, want %v", tc.oldBase, err, tc.wantErr)
+			}
+			if tc.wantErr == nil {
+				if got := h.Load(0x3000); got != 0xdead {
+					t.Fatalf("content not moved: %#x", got)
+				}
+				if _, ok := tab.Lookup(0x1000); ok {
+					t.Fatal("old region still tracked after relocation")
+				}
+			}
+		})
+	}
+}
+
+// TestTrackFreeUntrackedTolerated: freeing unknown memory is counted,
+// not fatal — the guard machinery, not the tracker, reports the bug.
+func TestTrackFreeUntrackedTolerated(t *testing.T) {
+	t.Parallel()
+	tab := NewTable()
+	tab.TrackAlloc(0x1000, 64)
+	tab.TrackFree(0x4000) // never tracked
+	tab.TrackFree(0x1008) // interior pointer, not a base
+	if tab.Untracked != 2 {
+		t.Fatalf("untracked frees = %d, want 2", tab.Untracked)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("table length = %d, want 1 (real region untouched)", tab.Len())
+	}
+}

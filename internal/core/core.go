@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/model"
@@ -110,6 +111,15 @@ type Stack struct {
 	// setting: each cell builds its own machine and RNG from the seed,
 	// and rows are assembled in canonical order.
 	Parallel int
+	// ChaosSeed, when non-zero, arms the deterministic fault-injection
+	// harness (internal/chaos) on every machine this stack builds: IPI
+	// drop/delay and LAPIC timer jitter at the hardware layer, with
+	// rates from chaos.DefaultConfig. Every Build derives a fresh plan
+	// from this same seed, so each experiment cell sees an identical,
+	// replayable fault schedule regardless of which pool worker runs it
+	// — output stays byte-identical across -parallel settings, and
+	// byte-identical between two runs with the same -chaos-seed.
+	ChaosSeed uint64
 }
 
 // pool returns the worker pool for this stack's experiment cells.
@@ -156,7 +166,26 @@ func ServerStack() *Stack {
 func (s *Stack) Build() (*sim.Engine, *machine.Machine) {
 	eng := sim.NewEngine()
 	m := machine.New(eng, s.Model, s.Topo, s.Seed)
+	if s.ChaosSeed != 0 {
+		ArmChaos(m, chaos.NewPlan(s.ChaosSeed, chaos.DefaultConfig()))
+	}
 	return eng, m
+}
+
+// ArmChaos installs plan's hardware-layer injectors on m: IPI loss and
+// delay on every inter-processor send, and jitter on every LAPIC timer
+// expiry. Site streams are keyed by destination CPU, so the schedule a
+// CPU experiences is independent of the other CPUs' traffic.
+func ArmChaos(m *machine.Machine, plan *chaos.Plan) *chaos.Plan {
+	ipi := plan.IPIInjector("machine/ipi")
+	m.IPIFault = func(src, dst int, v machine.Vector) (bool, int64) {
+		return ipi(src, dst, int(v))
+	}
+	tmr := plan.TimerInjector("machine/timer")
+	m.TimerFault = func(cpu int, v machine.Vector, delay int64) int64 {
+		return tmr(cpu, int(v), delay)
+	}
+	return plan
 }
 
 // us formats cycles as microseconds under the stack's clock.

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestShutdownUnderChaosInjection pins the pool's shutdown contract
+// under seeded fault injection: cells panic and error according to a
+// deterministic chaos plan (including the last cell, the one whose
+// completion races shutdown), and for every seed the pool must
+//
+//   - collect exactly the expected *CellError set, in index order,
+//   - never double-close the result channel or deadlock the collector,
+//   - leak no worker goroutines once Run returns.
+func TestShutdownUnderChaosInjection(t *testing.T) {
+	errBoom := errors.New("injected cell failure")
+	baseline := runtime.NumGoroutine()
+
+	for seed := uint64(1); seed <= 60; seed++ {
+		n := 1 + int(seed%33)
+		// Pre-consult the injector sequentially so the fail set is a
+		// pure function of the seed (a shared site consulted from
+		// concurrent workers would be schedule-dependent).
+		plan := chaos.NewPlan(seed, chaos.Config{AllocFailProb: 0.35})
+		inj := plan.AllocInjector("exp/cell", errBoom)
+		failing := make([]error, n)
+		for i := range failing {
+			failing[i] = inj(uint64(i))
+		}
+		// The last cell always fails: its result is the one in flight
+		// when the index channel drains and shutdown begins.
+		if failing[n-1] == nil {
+			failing[n-1] = &chaos.FaultError{
+				Fault: chaos.Fault{Site: "exp/cell", Seq: -1, Kind: chaos.AllocFail},
+				Err:   errBoom,
+			}
+		}
+
+		err := New(4).Run(n, func(i int) error {
+			if fe := failing[i]; fe != nil {
+				if i%2 == 0 {
+					panic(fe) // worker-side panic path
+				}
+				return fe // plain error path
+			}
+			return nil
+		})
+
+		want := 0
+		for _, fe := range failing {
+			if fe != nil {
+				want++
+			}
+		}
+		if want == 0 {
+			if err != nil {
+				t.Fatalf("seed %d: unexpected error: %v", seed, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("seed %d: %d cells failed but Run returned nil", seed, want)
+		}
+		joined, ok := err.(interface{ Unwrap() []error })
+		if !ok {
+			t.Fatalf("seed %d: Run error is not a join: %T %v", seed, err, err)
+		}
+		parts := joined.Unwrap()
+		if len(parts) != want {
+			t.Fatalf("seed %d: got %d cell errors, want %d: %v", seed, len(parts), want, err)
+		}
+		last := -1
+		for _, p := range parts {
+			var ce *CellError
+			if !errors.As(p, &ce) {
+				t.Fatalf("seed %d: non-CellError in join: %v", seed, p)
+			}
+			if ce.Index <= last {
+				t.Fatalf("seed %d: cell errors out of index order: %d after %d", seed, ce.Index, last)
+			}
+			last = ce.Index
+			if failing[ce.Index] == nil {
+				t.Fatalf("seed %d: healthy cell %d reported failure: %v", seed, ce.Index, ce)
+			}
+			// The injected fault must survive the pool's wrapping —
+			// both the error return and the recovered-panic path —
+			// so callers can still classify failures as injected.
+			if fe, found := chaos.AsFault(ce); !found || !errors.Is(fe, errBoom) {
+				t.Fatalf("seed %d: fault type lost through cell %d: %v", seed, ce.Index, ce)
+			}
+			if ce.Index%2 == 0 && ce.Stack == nil {
+				t.Fatalf("seed %d: panicking cell %d lost its stack", seed, ce.Index)
+			}
+		}
+	}
+
+	// Every Run above has returned; worker goroutines must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("leaked pool goroutines: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunPanicValuePreserved: a cell panicking with a non-error value
+// still surfaces as a CellError with a diagnosable message.
+func TestRunPanicValuePreserved(t *testing.T) {
+	t.Parallel()
+	err := New(2).Run(3, func(i int) error {
+		if i == 1 {
+			panic(fmt.Sprintf("bad state %d", i))
+		}
+		return nil
+	})
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 1 || ce.Stack == nil {
+		t.Fatalf("panic not captured as CellError: %v", err)
+	}
+}

@@ -102,23 +102,47 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 		}
 		return joinCells(errs)
 	}
+	// Results flow back over a channel the caller drains, and shutdown
+	// is owned by a single closer goroutine: close(res) happens exactly
+	// once, after every worker has retired. The sync.Once makes the
+	// close idempotent by construction — a panic escaping a worker's
+	// loop (runCell confines cell panics, but the pool does not bet its
+	// own integrity on that) still reaches wg.Done via the defer, so
+	// shutdown can neither double-close the result channel nor hang the
+	// collector. The chaos-injected regression test (TestShutdownUnder-
+	// ChaosInjection) pins this contract.
 	idx := make(chan int)
+	res := make(chan cellResult)
 	var wg sync.WaitGroup
+	var closeOnce sync.Once
+	closeRes := func() { closeOnce.Do(func() { close(res) }) }
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = runCell(i, fn)
+				res <- cellResult{index: i, err: runCell(i, fn)}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	go func() {
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		closeRes()
+	}()
+	for r := range res {
+		errs[r.index] = r.err
 	}
-	close(idx)
-	wg.Wait()
 	return joinCells(errs)
+}
+
+// cellResult carries one cell's outcome from a worker to the collector.
+type cellResult struct {
+	index int
+	err   error
 }
 
 // runCell invokes one cell, converting an error return or a panic into

@@ -1,0 +1,147 @@
+package farmem
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// smallCfg is a tiny far-memory tier so tables can force the fault and
+// eviction (failure) paths with a handful of accesses.
+func smallCfg() Config {
+	return Config{
+		LocalCapacity: 8 << 10, // two 4 KiB pages
+		LocalAccess:   100,
+		RemoteRTT:     3000,
+		PerKB:         80,
+		PageSize:      4096,
+	}
+}
+
+// TestAccessCostTable pins the per-access cost and counter outcomes of
+// both managers across the hit, fault, and eviction paths.
+func TestAccessCostTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mk   func() Manager
+		// warm accesses run first (their cost is not asserted), then
+		// the probe access is asserted.
+		warm       []mem.Addr
+		probe      mem.Addr
+		wantCost   int64
+		wantFaults int64
+		wantEvict  int64
+	}{
+		{
+			name: "page-cold-miss-faults",
+			mk:   func() Manager { return NewPageSwapper(smallCfg()) },
+			// First touch of a page is a remote fault: RTT + the
+			// KiB-rounded 4 KiB transfer + the local access.
+			probe:      0x0,
+			wantCost:   3000 + 5*80 + 100,
+			wantFaults: 1,
+		},
+		{
+			name:     "page-warm-hit-is-local",
+			mk:       func() Manager { return NewPageSwapper(smallCfg()) },
+			warm:     []mem.Addr{0x0},
+			probe:    0x8, // same page
+			wantCost: 100,
+			// The warm access already faulted once.
+			wantFaults: 1,
+		},
+		{
+			name: "page-capacity-pressure-evicts",
+			mk:   func() Manager { return NewPageSwapper(smallCfg()) },
+			// Two pages fill the 8 KiB tier (page 0 touched again so
+			// it is dirty); the third page must evict the LRU page 0,
+			// paying its writeback on top of the fetch.
+			warm:       []mem.Addr{0x0000, 0x0008, 0x1000},
+			probe:      0x2000,
+			wantCost:   (3000 + 5*80) + 5*80 + 100, // fetch + writeback + access
+			wantFaults: 3,
+			wantEvict:  1,
+		},
+		{
+			name: "object-registered-hit-is-local",
+			mk: func() Manager {
+				o := NewObjectBlender(smallCfg())
+				o.Register(0x100, 256)
+				return o
+			},
+			probe:    0x120,
+			wantCost: 100,
+		},
+		{
+			name: "object-unregistered-treated-local",
+			mk:   func() Manager { return NewObjectBlender(smallCfg()) },
+			// Untracked scratch never pays a remote fault.
+			probe:    0xdead_0000,
+			wantCost: 100,
+		},
+		{
+			name: "object-evicted-refetches-object-only",
+			mk: func() Manager {
+				o := NewObjectBlender(smallCfg())
+				o.Register(0x100, 512)
+				o.Register(0x10000, 8<<10) // overflows the tier, evicts the cold 512 B object
+				return o
+			},
+			// Refetching the 512 B object moves 512 B (KiB-rounded),
+			// not a page, but must push the 8 KiB object back out:
+			// RTT + 1 KiB transfer + 9 KiB-rounded writeback + access.
+			probe:      0x120,
+			wantCost:   3000 + 1*80 + 9*80 + 100,
+			wantFaults: 1,
+			wantEvict:  2, // registration eviction, then refetch evicts the big object
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			m := tc.mk()
+			for _, a := range tc.warm {
+				m.Access(a)
+			}
+			if got := m.Access(tc.probe); got != tc.wantCost {
+				t.Fatalf("Access(%#x) cost = %d, want %d", tc.probe, got, tc.wantCost)
+			}
+			st := m.Stats()
+			if st.Faults != tc.wantFaults {
+				t.Fatalf("faults = %d, want %d", st.Faults, tc.wantFaults)
+			}
+			if st.Evictions != tc.wantEvict {
+				t.Fatalf("evictions = %d, want %d", st.Evictions, tc.wantEvict)
+			}
+			if st.Accesses != int64(len(tc.warm))+1 {
+				t.Fatalf("accesses = %d, want %d", st.Accesses, len(tc.warm)+1)
+			}
+		})
+	}
+}
+
+// TestStatsAccounting pins the byte counters across a fault/evict
+// cycle: what came in over the wire and what was written back.
+func TestStatsAccounting(t *testing.T) {
+	t.Parallel()
+	p := NewPageSwapper(smallCfg())
+	p.Access(0x0000) // fault in page 0
+	p.Access(0x0008) // local hit, dirties page 0
+	p.Access(0x1000) // fault in page 1
+	p.Access(0x2000) // evicts page 0 (dirty: writes back), faults page 2
+	st := p.Stats()
+	if st.BytesIn != 3*4096 {
+		t.Fatalf("bytes in = %d, want %d", st.BytesIn, 3*4096)
+	}
+	if st.BytesOut != 4096 {
+		t.Fatalf("bytes out = %d, want %d", st.BytesOut, 4096)
+	}
+	if st.LocalHits != 1 {
+		t.Fatalf("local hits = %d, want 1", st.LocalHits)
+	}
+	if st.MeanLatency() <= float64(smallCfg().LocalAccess) {
+		t.Fatalf("mean latency %f should exceed the local access cost", st.MeanLatency())
+	}
+}

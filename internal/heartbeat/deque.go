@@ -114,6 +114,32 @@ func (d *Deque) compact() {
 	}
 }
 
+// CheckInvariants validates the deque's structural invariants: the
+// steal index stays inside the backing slice, every live slot holds a
+// frame, every dead slot (already popped or stolen) was released for
+// collection, and the operation counters account exactly for the
+// current length. The chaos harness runs this at every injection
+// firing; property tests use it directly.
+func (d *Deque) CheckInvariants() error {
+	if d.top < 0 || d.top > len(d.items) {
+		return fmt.Errorf("heartbeat: deque top %d outside [0, %d]", d.top, len(d.items))
+	}
+	for i := d.top; i < len(d.items); i++ {
+		if d.items[i] == nil {
+			return fmt.Errorf("heartbeat: nil frame at live slot %d (top %d, len %d)", i, d.top, len(d.items))
+		}
+	}
+	for i := 0; i < d.top; i++ {
+		if d.items[i] != nil {
+			return fmt.Errorf("heartbeat: stolen slot %d still holds a frame", i)
+		}
+	}
+	if held := d.Pushes - d.Pops - d.Steals; held != int64(d.Len()) {
+		return fmt.Errorf("heartbeat: counters say %d frames held, deque has %d", held, d.Len())
+	}
+	return nil
+}
+
 // String renders the deque state for debugging.
 func (d *Deque) String() string {
 	return fmt.Sprintf("deque{len=%d pushes=%d pops=%d steals=%d}", d.Len(), d.Pushes, d.Pops, d.Steals)

@@ -1,6 +1,8 @@
 package heartbeat
 
 import (
+	"fmt"
+
 	"repro/internal/linux"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -325,6 +327,49 @@ func (w *worker) pollBeat() {
 		// Promotion cost is paid inline on the worker.
 		w.stats.PollCycles += w.rt.Cfg.PromoteCost
 	}
+}
+
+// CheckInvariants validates the runtime's cross-worker invariants:
+// every deque is structurally sound, no frame is owned by two places
+// at once (a deque slot or a worker's current frame), and — while a
+// run is in flight — the iterations remaining inside frames equal the
+// runtime's termination counter. The conservation check is exact at
+// engine-event boundaries, which is the vantage point of every chaos
+// hook: a slice's Lo advance and the remaining decrement happen in the
+// same callback, and promotion/steal moves conserve items.
+func (rt *Runtime) CheckInvariants() error {
+	owner := make(map[*Frame]int)
+	var pending int64
+	claim := func(f *Frame, w int) error {
+		if prev, dup := owner[f]; dup {
+			return fmt.Errorf("heartbeat: frame [%d,%d) owned by workers %d and %d", f.Lo, f.Hi, prev, w)
+		}
+		owner[f] = w
+		if f.Remaining() < 0 {
+			return fmt.Errorf("heartbeat: frame with negative range [%d,%d)", f.Lo, f.Hi)
+		}
+		pending += f.Remaining()
+		return nil
+	}
+	for _, w := range rt.workers {
+		if err := w.deque.CheckInvariants(); err != nil {
+			return fmt.Errorf("worker %d: %w", w.id, err)
+		}
+		for i := w.deque.top; i < len(w.deque.items); i++ {
+			if err := claim(w.deque.items[i], w.id); err != nil {
+				return err
+			}
+		}
+		if w.cur != nil {
+			if err := claim(w.cur, w.id); err != nil {
+				return err
+			}
+		}
+	}
+	if rt.running && pending != rt.remaining {
+		return fmt.Errorf("heartbeat: frames hold %d items but %d remain outstanding", pending, rt.remaining)
+	}
+	return nil
 }
 
 // finish stops the substrate and halts the engine.

@@ -157,7 +157,7 @@ func (ip *Interp) exec(cf *cfunc, regs []uint64, depth int) (uint64, error) {
 		}
 		st.Steps++
 		if st.Steps > maxSteps {
-			return 0, ErrStepLimit
+			return 0, ip.stepLimitErr()
 		}
 		switch ir.Op(in.op) {
 		case ir.OpConst:

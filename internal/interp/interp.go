@@ -107,6 +107,14 @@ type Hooks struct {
 	// through the reference engine, which implements the per-step
 	// polling contract exactly.
 	Abort func() error
+	// StepLimit, when non-nil, supplies the error returned when the
+	// step budget (MaxSteps) is exhausted, substituting for the bare
+	// ErrStepLimit sentinel. The fault-injection harness uses it to
+	// surface budget exhaustion as a typed chaos fault; the returned
+	// error should wrap ErrStepLimit so errors.Is still matches. Both
+	// execution engines call it at the same instruction, preserving the
+	// bit-identical-behavior contract.
+	StepLimit func() error
 }
 
 // Stats aggregates execution counters.
@@ -212,6 +220,18 @@ func (ip *Interp) setLimits() {
 	if ip.curMaxDepth <= 0 {
 		ip.curMaxDepth = DefaultMaxDepth
 	}
+}
+
+// stepLimitErr is the error both engines return on step-budget
+// exhaustion: the Hooks.StepLimit substitute when installed (and
+// non-nil), else the ErrStepLimit sentinel.
+func (ip *Interp) stepLimitErr() error {
+	if ip.Hooks.StepLimit != nil {
+		if err := ip.Hooks.StepLimit(); err != nil {
+			return err
+		}
+	}
+	return ErrStepLimit
 }
 
 // ensureProg (re)compiles the module if the cached program is missing

@@ -44,7 +44,7 @@ func (ip *Interp) refCall(name string, args []uint64, depth int) (uint64, error)
 		in := blk.Instrs[idx]
 		ip.Stats.Steps++
 		if ip.Stats.Steps > ip.curMaxSteps {
-			return 0, ErrStepLimit
+			return 0, ip.stepLimitErr()
 		}
 		if ip.Hooks.Abort != nil {
 			if err := ip.Hooks.Abort(); err != nil {

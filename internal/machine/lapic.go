@@ -50,6 +50,9 @@ func (l *LAPIC) program(delay int64, v Vector, periodic bool) {
 }
 
 func (l *LAPIC) schedule(delay int64) {
+	if f := l.cpu.m.TimerFault; f != nil {
+		delay += f(l.cpu.ID, l.vector, delay)
+	}
 	l.ev = l.cpu.eng.After(sim.Time(delay), l.fire)
 }
 

@@ -94,6 +94,7 @@ type CPUStats struct {
 	DispatchCycles int64 // cycles spent in interrupt entry/exit paths
 	Interrupts     int64 // interrupts delivered
 	IPIsSent       int64
+	IPIsDropped    int64 // IPIs suppressed by the fault hook (chaos)
 	Preemptions    int64 // runs preempted by interrupts
 }
 
@@ -137,6 +138,19 @@ type Machine struct {
 	Topo  Topology
 	CPUs  []*CPU
 	RNG   *sim.RNG
+
+	// Fault hooks, when non-nil, perturb hardware-level delivery; they
+	// are installed by the fault-injection harness (internal/chaos) and
+	// must be deterministic functions of their inputs plus harness state.
+	//
+	// IPIFault is consulted once per IPI destination: returning
+	// drop=true suppresses delivery entirely (counted in IPIsDropped),
+	// otherwise delay is added to the modeled latency.
+	IPIFault func(src, dst int, v Vector) (drop bool, delay int64)
+	// TimerFault is consulted every time a LAPIC timer expiry is
+	// scheduled; the returned extra cycles stretch that one expiry
+	// (jitter). Periodic timers re-draw on every re-arm.
+	TimerFault func(cpu int, v Vector, delay int64) int64
 }
 
 // New constructs a machine with the given topology and cost model. The
@@ -387,6 +401,14 @@ func (c *CPU) SendIPI(dst *CPU, v Vector) {
 	if c.Socket != dst.Socket {
 		lat += c.m.Model.Coherence.RemoteSocket
 	}
+	if f := c.m.IPIFault; f != nil {
+		drop, extra := f(c.ID, dst.ID, v)
+		if drop {
+			c.Stats.IPIsDropped++
+			return
+		}
+		lat += extra
+	}
 	c.eng.After(sim.Time(lat), func() { dst.Raise(v) })
 }
 
@@ -403,8 +425,16 @@ func (c *CPU) BroadcastIPI(v Vector) {
 		if c.Socket != dst.Socket {
 			lat += c.m.Model.Coherence.RemoteSocket
 		}
+		i++
+		if f := c.m.IPIFault; f != nil {
+			drop, extra := f(c.ID, dst.ID, v)
+			if drop {
+				c.Stats.IPIsDropped++
+				continue
+			}
+			lat += extra
+		}
 		d := dst
 		c.eng.After(sim.Time(lat), func() { d.Raise(v) })
-		i++
 	}
 }

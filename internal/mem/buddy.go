@@ -111,6 +111,15 @@ type Buddy struct {
 	Coalesces    uint64
 	PeakUsed     uint64
 	FailedAllocs uint64
+
+	// Inject, when non-nil, is consulted at the top of Alloc, before
+	// any state is mutated; a non-nil return fails the allocation with
+	// that error (counted in FailedAllocs, like an organic failure).
+	// Fault-injection harnesses (internal/chaos) use it to model
+	// transient failure and exhaustion against an allocator whose
+	// structure is guaranteed consistent at the injection point, so
+	// CheckInvariants may run from inside the hook.
+	Inject func(n uint64) error
 }
 
 // NewBuddy creates an allocator managing size bytes starting at base.
@@ -249,6 +258,12 @@ func (b *Buddy) BlockSize(n uint64) uint64 { return 1 << b.orderFor(n) }
 func (b *Buddy) Alloc(n uint64) (Addr, error) {
 	if n == 0 {
 		n = 1
+	}
+	if b.Inject != nil {
+		if err := b.Inject(n); err != nil {
+			b.FailedAllocs++
+			return 0, err
+		}
 	}
 	order := b.orderFor(n)
 	if order > b.maxOrder {

@@ -74,6 +74,14 @@ type CPUCache struct {
 	mu   sync.Mutex // guards zone and orderPages writes
 	zone *Buddy
 
+	// Inject, when non-nil, is consulted at the top of AllocOn — on the
+	// caller's goroutine, with its cpu, before the magazine fast path —
+	// so fault injection covers magazine hits as well as refills. A
+	// non-nil return fails the allocation with that error. The hook runs
+	// outside the zone lock; injectors that inspect the zone must go
+	// through ZoneStats or attach at the Buddy instead.
+	Inject func(cpu int, n uint64) error
+
 	magCap      int  // per-CPU per-class magazine capacity
 	maxMagOrder uint // orders above this bypass the magazines
 
@@ -158,6 +166,11 @@ func (c *CPUCache) AllocOn(cpu int, n uint64) (Addr, error) {
 	m.stats.Allocs++
 	if n == 0 {
 		n = 1
+	}
+	if c.Inject != nil {
+		if err := c.Inject(cpu, n); err != nil {
+			return 0, err
+		}
 	}
 	order := c.zone.orderFor(n)
 	if order > c.maxMagOrder {

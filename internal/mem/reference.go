@@ -35,6 +35,11 @@ type ReferenceBuddy struct {
 	Coalesces    uint64
 	PeakUsed     uint64
 	FailedAllocs uint64
+
+	// Inject mirrors Buddy.Inject: consulted at the top of Alloc, before
+	// any mutation, so the differential tests can drive both engines
+	// under an identical fault schedule and require identical outcomes.
+	Inject func(n uint64) error
 }
 
 // NewReferenceBuddy creates a reference allocator managing size bytes
@@ -125,6 +130,12 @@ func (b *ReferenceBuddy) BlockSize(n uint64) uint64 { return 1 << b.orderFor(n) 
 func (b *ReferenceBuddy) Alloc(n uint64) (Addr, error) {
 	if n == 0 {
 		n = 1
+	}
+	if b.Inject != nil {
+		if err := b.Inject(n); err != nil {
+			b.FailedAllocs++
+			return 0, err
+		}
 	}
 	order := b.orderFor(n)
 	if order > b.maxOrder {

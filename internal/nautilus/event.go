@@ -1,5 +1,11 @@
 package nautilus
 
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
 // Event is the Nautilus fast event/wait-queue primitive ("primitives
 // such as thread management and event signaling are orders of magnitude
 // faster", §III). Two flavors:
@@ -13,6 +19,11 @@ type Event struct {
 	waiters []*Thread
 	latch   bool
 	set     bool
+	// waking is non-zero while a wake sweep is dequeuing waiters — a
+	// latch broadcast sets the latch first and then readies waiters one
+	// by one, so mid-sweep the "set but waiters parked" state is
+	// transient and legal. CheckNoLostWakeup only judges boundaries.
+	waking int
 
 	Signals int64
 	Wakeups int64
@@ -35,6 +46,8 @@ func (e *Event) addWaiter(t *Thread) {
 // cost of the wake path. For latches it also sets the latch.
 func (e *Event) wake(n int) int64 {
 	e.Signals++
+	e.waking++
+	defer func() { e.waking-- }()
 	if e.latch {
 		e.set = true
 	}
@@ -49,13 +62,31 @@ func (e *Event) wake(n int) int64 {
 		cs := e.k.cpus[t.CPU]
 		t.state = stateReady
 		cs.enqueue(t)
-		// Remote CPU may be idle: let it pick the thread up.
+		// Remote CPU may be idle: let it pick the thread up. The chaos
+		// hook may defer (never drop) the dispatch.
 		if cs.idle {
 			c := cs
-			e.k.M.Eng.After(0, func() { c.maybeDispatch() })
+			var delay int64
+			if e.k.WakeDelay != nil {
+				delay = e.k.WakeDelay()
+			}
+			e.k.M.Eng.After(sim.Time(delay), func() { c.maybeDispatch() })
 		}
 	}
 	return cost
+}
+
+// CheckNoLostWakeup verifies the event's liveness invariant: once a
+// latch is set, no waiter may remain parked on it — every thread that
+// enqueued before the Set saw its wake, and later Waits pass through
+// without parking. The chaos harness runs this at every injection
+// firing; a violation means a wake was dropped somewhere between
+// signal and dispatch.
+func (e *Event) CheckNoLostWakeup() error {
+	if e.waking == 0 && e.latch && e.set && len(e.waiters) > 0 {
+		return fmt.Errorf("nautilus: latch set but %d waiter(s) still parked", len(e.waiters))
+	}
+	return nil
 }
 
 // SignalFromIRQ wakes one waiter from interrupt context, charging the

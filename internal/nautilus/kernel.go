@@ -82,6 +82,13 @@ type Kernel struct {
 	// task-framework state blocks are placed through it.
 	Mem *mem.NUMA
 
+	// WakeDelay, when non-nil, returns extra cycles by which to defer
+	// the idle-CPU dispatch that follows an event wake (fault-injection
+	// hook; see internal/chaos). The dispatch is only ever delayed,
+	// never skipped, so the hook cannot introduce a lost wakeup — it
+	// exists to widen the window in which one would be observable.
+	WakeDelay func() int64
+
 	cpus     []*cpuSched
 	nextTID  int
 	threads  []*Thread

@@ -1,0 +1,60 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// fuzzPipelines enumerates the pass pipelines the differential fuzzer
+// compares against pristine execution. The inline pipeline is built per
+// module (Inline needs the module handle), so it is index 0 here and
+// constructed in the driver.
+var fuzzPipelines = []struct {
+	name string
+	mk   func() []Pass
+}{
+	{"inline", nil}, // special-cased: &Inline{Mod: m} then opt
+	{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
+	{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+	{"carat-elim", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
+	{"carat-elim-nohoist", func() []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
+	{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
+	{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
+	{"everything", func() []Pass {
+		return []Pass{
+			&ConstFold{}, &DCE{}, &CARATInject{}, &CARATHoist{},
+			&TimingInject{TargetCycles: 700, ChunkLoops: true},
+		}
+	}},
+}
+
+// FuzzDifferentialPipelines is the coverage-guided form of the
+// quick.Check differential test above: the fuzzer picks a program seed
+// and a pipeline, and the transformed program must produce exactly the
+// pristine program's checksum under the full CARAT runtime (with zero
+// protection violations, enforced inside runFuzz). The checked-in
+// corpus (testdata/fuzz/FuzzDifferentialPipelines) pins one seed per
+// pipeline so the differential runs on every plain `go test` too.
+func FuzzDifferentialPipelines(f *testing.F) {
+	for i := range fuzzPipelines {
+		f.Add(uint64(i)*7+1, uint8(i))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, pipe uint8) {
+		p := fuzzPipelines[int(pipe)%len(fuzzPipelines)]
+		want := runFuzz(t, genProgram(seed))
+		m := genProgram(seed)
+		var passes []Pass
+		if p.mk == nil {
+			passes = []Pass{&Inline{Mod: m}, &ConstFold{}, &DCE{}}
+		} else {
+			passes = p.mk()
+		}
+		if err := RunAll(m, passes...); err != nil {
+			t.Fatalf("seed %d pipeline %s: %v", seed, p.name, err)
+		}
+		if got := runFuzz(t, m); got != want {
+			t.Fatalf("seed %d pipeline %s: checksum %d != %d", seed, p.name, got, want)
+		}
+	})
+}

@@ -31,6 +31,26 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// SplitLabel derives an independent generator identified by a stable
+// string label, without advancing r: the derived stream is a pure
+// function of r's current state and the label, so streams for distinct
+// labels can be created in any order (or lazily) and still match a run
+// that created them in another order. The chaos harness uses this to
+// give every fault-injection site its own replayable stream from one
+// plan seed.
+func (r *RNG) SplitLabel(label string) *RNG {
+	// FNV-1a over the label, folded into the state and scrambled once
+	// so labels differing in one byte land in unrelated streams.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	d := &RNG{state: r.state ^ h ^ 0x9e3779b97f4a7c15}
+	d.state = d.Uint64()
+	return d
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
