@@ -3,7 +3,7 @@ GO ?= go
 # Minimum per-package statement coverage (percent) for the cover gate.
 COVER_FLOOR ?= 60
 
-.PHONY: build vet lint test short race race-mem bench bench-mem benchsmoke cover all check
+.PHONY: build vet lint test short race race-mem race-machine bench bench-mem bench-machine benchsmoke cover all check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ race:
 race-mem:
 	$(GO) test -race ./internal/mem ./internal/exp
 
+# Focused race leg for the sharded event engine: the queue/barrier tests
+# plus the stack-level sequential-vs-sharded oracles, under the race
+# detector with multiple engine workers forced.
+race-machine:
+	$(GO) test -race ./internal/sim -run 'TestSharded|TestCancel'
+	$(GO) test -race ./internal/core -run 'DomainOracle'
+	$(GO) test -race ./internal/chaos -run 'TestShardedInvariantHooksFirePerShard'
+
 # Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
 # fast path vs reference engine vs the pinned seed baseline).
 bench:
@@ -41,6 +49,12 @@ bench:
 # the contended magazines-vs-mutex aggregate; writes BENCH_mem.json.
 bench-mem:
 	$(GO) run ./cmd/benchdiff -mem -o BENCH_mem.json
+
+# Event-engine scaling benches: the Fig 3 heartbeat workload at 64-1024
+# simulated CPUs, sequential vs sharded (digests must match); writes
+# BENCH_machine.json.
+bench-machine:
+	$(GO) run ./cmd/benchdiff -machine -o BENCH_machine.json
 
 # One run of every CARAT kernel on both execution engines plus a 10k-op
 # allocator differential trace, requiring bit-identical results; no
@@ -63,4 +77,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race race-mem cover benchsmoke
+check: build vet lint race race-mem race-machine cover benchsmoke

@@ -1,0 +1,124 @@
+package main
+
+// The -machine leg benchmarks the discrete-event machine itself rather
+// than a guest computation: the Fig 3 heartbeat workload at large
+// simulated-CPU counts, run once on the sequential engine and once on
+// the sharded engine, asserting byte-identical schedules and recording
+// the wall-clock scaling curve in BENCH_machine.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/heartbeat"
+)
+
+type machinePoint struct {
+	CPUs          int     `json:"cpus"`
+	Domains       int     `json:"domains"`
+	EngineWorkers int     `json:"engine_workers"`
+	Items         int64   `json:"items"`
+	SequentialMs  float64 `json:"sequential_ms"`
+	ShardedMs     float64 `json:"sharded_ms"`
+	Speedup       float64 `json:"speedup"`
+	Digest        string  `json:"digest"`
+}
+
+type machineReport struct {
+	Points     []machinePoint `json:"points"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	CPU        string         `json:"cpu,omitempty"`
+	Note       string         `json:"note"`
+}
+
+// machineDigest canonicalizes everything Fig 3 observes about a run, so
+// equality means the engines are indistinguishable to the figures.
+func machineDigest(rt *heartbeat.Runtime) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "done=%d", rt.DoneAt())
+	for i := 0; i < rt.NumWorkers(); i++ {
+		ws := rt.WorkerStats(i)
+		fmt.Fprintf(h, "|%d:%d:%d:%d:%d:%d:%d:%d", i, ws.Items, ws.WorkCycles,
+			ws.Promotions, ws.StealHits, ws.StealAttempts, ws.PollCycles, len(ws.Beats))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// machineRun executes one heartbeat configuration and returns wall time
+// plus the schedule digest. shards == 1 forces the sequential oracle;
+// shards == domains runs the sharded engine.
+func machineRun(cpus, domains, shards int, items int64) (time.Duration, string) {
+	s := core.NewStack(cpus)
+	s.Shards = shards
+	_, m := s.Build()
+	hcfg := heartbeat.DefaultConfig()
+	hcfg.Substrate = heartbeat.SubstrateNautilusIPI
+	hcfg.PeriodCycles = s.Model.MicrosToCycles(20)
+	hcfg.Seed = s.Seed
+	hcfg.Domains = domains
+	rt := heartbeat.New(m, hcfg)
+	start := time.Now()
+	rt.Run(items, 40, 32)
+	return time.Since(start), machineDigest(rt)
+}
+
+func runMachine(out string) error {
+	rep := machineReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "wall-clock ms are machine-dependent; the tracked claim is digest equality " +
+			"(sharded == sequential, bit-exact). Sharded speedup is bounded by GOMAXPROCS: " +
+			"with one OS CPU the shards execute serially and speedup ~1x is expected.",
+	}
+	// Carry the host CPU tag forward from an existing file, as the other
+	// legs do for their pinned sections.
+	if prev, err := os.ReadFile(out); err == nil {
+		var old machineReport
+		if json.Unmarshal(prev, &old) == nil {
+			rep.CPU = old.CPU
+		}
+	}
+
+	for _, cpus := range []int{64, 256, 512, 1024} {
+		domains := cpus / 32
+		if domains < 2 {
+			domains = 2
+		}
+		items := core.Fig3SweepItems(cpus)
+		fmt.Printf("bench machine cpus=%-5d domains=%-3d sequential...", cpus, domains)
+		seqT, seqD := machineRun(cpus, domains, 1, items)
+		fmt.Printf(" %7.0f ms   sharded...", float64(seqT.Microseconds())/1e3)
+		shT, shD := machineRun(cpus, domains, domains, items)
+		fmt.Printf(" %7.0f ms\n", float64(shT.Microseconds())/1e3)
+		if seqD != shD {
+			return fmt.Errorf("machine bench cpus=%d: sharded digest %s != sequential %s",
+				cpus, shD, seqD)
+		}
+		rep.Points = append(rep.Points, machinePoint{
+			CPUs:          cpus,
+			Domains:       domains,
+			EngineWorkers: exp.EngineWorkers(0, domains),
+			Items:         items,
+			SequentialMs:  round2(float64(seqT.Microseconds()) / 1e3),
+			ShardedMs:     round2(float64(shT.Microseconds()) / 1e3),
+			Speedup:       round2(float64(seqT) / float64(shT)),
+			Digest:        shD,
+		})
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

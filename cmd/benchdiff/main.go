@@ -10,6 +10,8 @@
 //	                                      # also runs a 10k-op allocator differential trace
 //	benchdiff -mem -o BENCH_mem.json      # allocator benches: intrusive Buddy vs
 //	                                      # ReferenceBuddy, plus contended magazines vs mutex
+//	benchdiff -machine                    # sharded event-engine scaling curve at
+//	                                      # 64-1024 simulated CPUs -> BENCH_machine.json
 //
 // The output file may contain a hand-pinned "seed" section (numbers
 // captured before the fast path existed); benchdiff preserves it when
@@ -137,6 +139,8 @@ func main() {
 	out := flag.String("o", "", "output file (default BENCH_interp.json, or BENCH_mem.json with -mem)")
 	quick := flag.Bool("quick", false, "equivalence smoke only; measure nothing, write nothing")
 	memMode := flag.Bool("mem", false, "benchmark the memory allocator instead of the interpreter")
+	machineMode := flag.Bool("machine", false,
+		"benchmark the sharded event engine at 64-1024 simulated CPUs instead of the interpreter")
 	chaosSeed := flag.Uint64("chaos-seed", 11,
 		"seed for the fault-injected allocator differential run by -quick")
 	flag.Parse()
@@ -162,6 +166,16 @@ func main() {
 			*out = "BENCH_mem.json"
 		}
 		if err := runMem(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *machineMode {
+		if *out == "" {
+			*out = "BENCH_machine.json"
+		}
+		if err := runMachine(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}

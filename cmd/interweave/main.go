@@ -76,6 +76,10 @@ func main() {
 		"max concurrent experiment cells (0 = $INTERWEAVE_PARALLEL or GOMAXPROCS, 1 = sequential)")
 	chaosSeed := fs.Uint64("chaos-seed", 0,
 		"arm the fault-injection harness with this seed (0 = off); same seed replays the same faults")
+	domains := fs.Int("domains", 0,
+		"fig3: steal domains per run (0 = auto; >1 shards the event engine, one shard per domain)")
+	shards := fs.Int("shards", 0,
+		"event-engine shards (0 = follow -domains, 1 = force the sequential engine)")
 	_ = fs.Parse(os.Args[2:])
 
 	// stack applies the shared knobs to a freshly built stack.
@@ -83,8 +87,15 @@ func main() {
 		s.Seed = *seed
 		s.Parallel = *parallel
 		s.ChaosSeed = *chaosSeed
+		s.Shards = *shards
 		return s
 	}
+
+	// `all` regenerates everything with every optional table on, so it
+	// trims the sweep axes to the classic small-N points: the 256–1024
+	// CPU/core points take minutes each and belong to the explicit
+	// `fig3 -sweep` / `fig7 -sweep` invocations.
+	smallAxes := cmd == "all"
 
 	// run regenerates one experiment's tables, in order, into a slice;
 	// printing is the caller's job so `all` can serialize output.
@@ -97,12 +108,17 @@ func main() {
 		case "fig3":
 			s := stack(core.NewStack(16))
 			cfg := core.DefaultFig3Config()
+			cfg.Domains = *domains
 			emit(s.Fig3(cfg))
 			if *overheads {
 				emit(s.Fig3Overheads(cfg))
 			}
 			if *sweep {
-				emit(s.Fig3Sweep(20))
+				if smallAxes {
+					emit(s.Fig3SweepCounts(20, []int{8, 16, 32, 64, 128}))
+				} else {
+					emit(s.Fig3Sweep(20))
+				}
 			}
 		case "fig4":
 			s := stack(core.KNLStack(1))
@@ -130,7 +146,11 @@ func main() {
 			s := stack(core.ServerStack())
 			emit(s.Fig7())
 			if *sweep {
-				emit(s.Fig7Sweep())
+				if smallAxes {
+					emit(s.Fig7SweepCores([]int{8, 16, 24, 48}))
+				} else {
+					emit(s.Fig7Sweep())
+				}
 			}
 			if *ablate {
 				emit(s.AblationSharingClasses())

@@ -25,12 +25,13 @@ type Plan struct {
 	seed uint64
 	cfg  Config
 
-	mu      sync.Mutex
-	sites   map[string]*site
-	faults  int
-	checks  []invariant
-	viols   []Violation
-	inCheck bool // re-entrancy guard: checkers must not recurse into checkers
+	mu         sync.Mutex
+	sites      map[string]*site
+	faults     int
+	checks     []invariant
+	siteChecks map[string][]invariant
+	viols      []Violation
+	inCheck    bool // re-entrancy guard: checkers must not recurse into checkers
 }
 
 // site is one injection point's private state.
@@ -39,6 +40,7 @@ type site struct {
 	seq      int
 	consults uint64 // allocation consults, for the exhaustion budget
 	trace    []Fault
+	inCheck  bool // per-site re-entrancy guard for site-scoped checkers
 }
 
 // invariant is a registered named checker.
@@ -90,19 +92,54 @@ func (p *Plan) OnInvariant(name string, fn func() error) {
 	p.mu.Unlock()
 }
 
-// checkAt runs every registered invariant against the in-flight fault.
+// OnSiteInvariant registers a checker that runs only for faults fired at
+// the named site (exact match, including any /cpuN suffix). Site-scoped
+// checkers are the sharded-run form of OnInvariant: a fault consulted on
+// one engine shard may only be checked against state owned by that
+// shard, so each shard's sites carry their own checkers and their own
+// re-entrancy guard. Global OnInvariant checkers remain suited to
+// sequential runs only — their shared guard makes concurrent firings
+// skip checks nondeterministically, and they typically walk state that
+// spans shards.
+func (p *Plan) OnSiteInvariant(siteName, name string, fn func() error) {
+	p.mu.Lock()
+	if p.siteChecks == nil {
+		p.siteChecks = make(map[string][]invariant)
+	}
+	p.siteChecks[siteName] = append(p.siteChecks[siteName], invariant{name: name, fn: fn})
+	p.mu.Unlock()
+}
+
+// checkAt runs the registered invariants against the in-flight fault:
+// every global checker (unless one is already running), then the fault
+// site's own checkers (unless that site's are already running — a fault
+// fired from inside a checker at the same site is recorded without
+// recursing).
 func (p *Plan) checkAt(f Fault) {
 	p.mu.Lock()
-	if p.inCheck {
-		p.mu.Unlock()
+	var checks, siteChecks []invariant
+	tookGlobal := !p.inCheck && len(p.checks) > 0
+	if tookGlobal {
+		p.inCheck = true
+		checks = p.checks
+	}
+	var s *site
+	if len(p.siteChecks[f.Site]) > 0 {
+		s = p.siteLocked(f.Site)
+		if !s.inCheck {
+			s.inCheck = true
+			siteChecks = p.siteChecks[f.Site]
+		} else {
+			s = nil
+		}
+	}
+	p.mu.Unlock()
+	if !tookGlobal && s == nil {
 		return
 	}
-	p.inCheck = true
-	checks := p.checks
-	p.mu.Unlock()
 
 	var bad []Violation
-	for _, c := range checks {
+	for _, c := range append(append([]invariant(nil), checks...), siteChecks...) {
 		if err := c.fn(); err != nil {
 			bad = append(bad, Violation{Fault: f, Invariant: c.name, Err: err})
 		}
@@ -110,7 +147,12 @@ func (p *Plan) checkAt(f Fault) {
 
 	p.mu.Lock()
 	p.viols = append(p.viols, bad...)
-	p.inCheck = false
+	if tookGlobal {
+		p.inCheck = false
+	}
+	if s != nil {
+		s.inCheck = false
+	}
 	p.mu.Unlock()
 }
 
@@ -121,11 +163,30 @@ func (p *Plan) CheckNow(label string) {
 	p.checkAt(Fault{Site: "checkpoint/" + label})
 }
 
-// Violations returns a copy of all recorded invariant violations.
+// Violations returns a copy of all recorded invariant violations, in
+// recording order. A sequential run's order is deterministic; under
+// concurrent shards, canonicalize with SortViolations before comparing
+// runs.
 func (p *Plan) Violations() []Violation {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return append([]Violation(nil), p.viols...)
+}
+
+// SortViolations orders violations canonically by (site, sequence,
+// invariant name) — the same key Trace uses — so two runs of the same
+// plan compare byte-identically regardless of how many engine shards
+// recorded them concurrently.
+func SortViolations(v []Violation) {
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Fault.Site != v[j].Fault.Site {
+			return v[i].Fault.Site < v[j].Fault.Site
+		}
+		if v[i].Fault.Seq != v[j].Fault.Seq {
+			return v[i].Fault.Seq < v[j].Fault.Seq
+		}
+		return v[i].Invariant < v[j].Invariant
+	})
 }
 
 // Faults returns how many faults have fired.

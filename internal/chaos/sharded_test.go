@@ -1,0 +1,89 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/heartbeat"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// runShardedHeartbeat drives the heartbeat runtime in steal-domain mode
+// under an armed chaos plan, with a frame-conservation invariant hook
+// scoped to every IPI site — so each consult fires the checker for the
+// one domain the faulted CPU belongs to, touching only that shard's
+// state. shards == 1 is the sequential oracle.
+func runShardedHeartbeat(t *testing.T, seed uint64, shards int) (string, *chaos.Plan) {
+	t.Helper()
+	const cpus, domains = 8, 4
+	plan := chaos.NewPlan(seed, chaos.DefaultConfig())
+	var eng sim.Sim
+	if shards > 1 {
+		eng = sim.NewSharded(shards, sim.Time(model.Default().HW.IPILatency))
+	} else {
+		eng = sim.NewEngine()
+	}
+	m := machine.New(eng, model.Default(), machine.Topology{Sockets: 1, CoresPerSocket: cpus}, 7)
+	core.ArmChaos(m, plan)
+
+	hcfg := heartbeat.DefaultConfig()
+	hcfg.Substrate = heartbeat.SubstrateNautilusIPI
+	hcfg.PeriodCycles = 20_000
+	hcfg.Seed = seed
+	hcfg.Domains = domains
+	rt := heartbeat.New(m, hcfg)
+	for cpu := 0; cpu < cpus; cpu++ {
+		// Worker i runs on CPU i and belongs to domain i*D/n; with
+		// shards == domains this is also the CPU's engine shard, so the
+		// checker below only ever reads state owned by the consulting
+		// shard.
+		d := cpu * domains / cpus
+		plan.OnSiteInvariant(fmt.Sprintf("machine/ipi/cpu%d", cpu), "frame-conservation",
+			func() error { return rt.CheckDomainInvariants(d) })
+		plan.OnSiteInvariant(fmt.Sprintf("machine/timer/cpu%d", cpu), "frame-conservation",
+			func() error { return rt.CheckDomainInvariants(d) })
+	}
+
+	const items = 60_000
+	rt.Run(items, 40, 32)
+
+	var done int64
+	for w := 0; w < rt.NumWorkers(); w++ {
+		done += rt.WorkerStats(w).Items
+	}
+	if done != items {
+		t.Fatalf("lost work under IPI faults: %d of %d items done", done, items)
+	}
+	return fmt.Sprintf("doneAt=%d trace=%s", rt.DoneAt(), plan.TraceString()), plan
+}
+
+// TestShardedInvariantHooksFirePerShard: under the sharded engine, the
+// site-scoped frame-conservation hooks fire during concurrent windows,
+// find no violations, and the fault trace plus completion time are
+// byte-identical to the sequential oracle's.
+func TestShardedInvariantHooksFirePerShard(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []uint64{3, 17} {
+		seqOut, seqPlan := runShardedHeartbeat(t, seed, 1)
+		shOut, shPlan := runShardedHeartbeat(t, seed, 4)
+		if seqOut != shOut {
+			t.Fatalf("seed %d: sharded run diverges from oracle\nseq: %.400s\nsharded: %.400s", seed, seqOut, shOut)
+		}
+		if seqPlan.Faults() == 0 {
+			t.Fatalf("seed %d: chaos plan injected nothing; the invariant hooks were never exercised", seed)
+		}
+		sv, hv := seqPlan.Violations(), shPlan.Violations()
+		chaos.SortViolations(sv)
+		chaos.SortViolations(hv)
+		if fmt.Sprint(sv) != fmt.Sprint(hv) {
+			t.Fatalf("seed %d: violation sets differ between engines:\n%v\nvs\n%v", seed, sv, hv)
+		}
+		if len(sv) != 0 {
+			t.Fatalf("seed %d: frame conservation violated under IPI faults: %v", seed, sv)
+		}
+	}
+}

@@ -16,6 +16,12 @@ type Fig3Config struct {
 	Items         int64
 	CyclesPerItem int64
 	Grain         int64
+	// Domains, when > 1, runs the heartbeat runtime in steal-domain
+	// mode with that many domains, and (unless the stack pins Shards
+	// to 1, the sequential oracle) builds the machine on a sharded
+	// engine with one shard per domain. 0 keeps the legacy global-
+	// stealing runtime on the sequential engine.
+	Domains int
 }
 
 // DefaultFig3Config matches the paper: 16 CPUs, ♥ ∈ {20 µs, 100 µs}.
@@ -94,36 +100,73 @@ func (s *Stack) Fig3Overheads(cfg Fig3Config) *Table {
 }
 
 func (s *Stack) heartbeatRun(cfg Fig3Config, sub heartbeat.Substrate, period int64) *heartbeat.Runtime {
-	st := *s
-	st.Topo.Sockets = 1
-	st.Topo.CoresPerSocket = cfg.CPUs
+	st := s.WithCPUs(cfg.CPUs)
+	if cfg.Domains > 1 && s.Shards != 1 {
+		st.Shards = cfg.Domains
+	}
 	_, m := st.Build()
 	hcfg := heartbeat.DefaultConfig()
 	hcfg.Substrate = sub
 	hcfg.PeriodCycles = period
 	hcfg.Seed = s.Seed
+	hcfg.Domains = cfg.Domains
 	rt := heartbeat.New(m, hcfg)
 	rt.Run(cfg.Items, cfg.CyclesPerItem, cfg.Grain)
 	return rt
 }
 
-// Fig3Sweep regenerates the scale dimension of §IV-B: the Linux pacer
-// serializes one pthread_kill per worker, so its achievable rate decays
-// as CPUs grow, while the Nautilus IPI broadcast holds the target.
+// DefaultFig3SweepCounts is Fig3Sweep's CPU axis: the paper's original
+// small-N points plus the 256–1024 range where the sharded engine's
+// steal domains carry the simulation.
+var DefaultFig3SweepCounts = []int{8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Fig3SweepDomains returns the steal-domain (= engine shard) count used
+// for a sweep point: one domain per 32 CPUs once the machine is large
+// enough that a single event queue becomes the bottleneck, and the
+// legacy single-domain runtime below that.
+func Fig3SweepDomains(cpus int) int {
+	if cpus < 256 {
+		return 0
+	}
+	return cpus / 32
+}
+
+// Fig3SweepItems returns the workload size for a sweep point: the
+// original fixed load, grown at large CPU counts so every worker still
+// sees enough slices and beats for stable rate statistics.
+func Fig3SweepItems(cpus int) int64 {
+	if items := int64(cpus) * 8_000; items > 1_500_000 {
+		return items
+	}
+	return 1_500_000
+}
+
+// Fig3Sweep regenerates the scale dimension of §IV-B over the default
+// CPU axis: the Linux pacer serializes one pthread_kill per worker, so
+// its achievable rate decays as CPUs grow, while the Nautilus IPI
+// broadcast holds the target.
 func (s *Stack) Fig3Sweep(periodUS float64) *Table {
+	return s.Fig3SweepCounts(periodUS, DefaultFig3SweepCounts)
+}
+
+// Fig3SweepCounts is Fig3Sweep with an explicit CPU axis. Points at 256
+// CPUs and above run in steal-domain mode on the sharded engine (one
+// domain per 32 CPUs) with a proportionally larger workload; results
+// are byte-identical to the sequential engine either way.
+func (s *Stack) Fig3SweepCounts(periodUS float64, cpuCounts []int) *Table {
 	t := &Table{
 		ID:     "fig3-sweep",
 		Title:  fmt.Sprintf("Heartbeat rate vs CPU count (♥ = %.0fµs)", periodUS),
 		Header: []string{"CPUs", "nautilus achieved/target", "linux achieved/target"},
 	}
-	cpuCounts := []int{8, 16, 32, 64, 128}
 	subs := []heartbeat.Substrate{heartbeat.SubstrateNautilusIPI, heartbeat.SubstrateLinuxSignals}
 	// One cell per (CPU count, substrate) point; rows are assembled from
 	// the index-ordered results, so output is identical at any pool width.
 	ratios := runCells(s, len(cpuCounts)*len(subs), func(i int) string {
 		cfg := DefaultFig3Config()
 		cfg.CPUs = cpuCounts[i/len(subs)]
-		cfg.Items = 1_500_000
+		cfg.Items = Fig3SweepItems(cfg.CPUs)
+		cfg.Domains = Fig3SweepDomains(cfg.CPUs)
 		period := s.Model.MicrosToCycles(periodUS)
 		target := 1e6 / float64(period)
 		rt := s.heartbeatRun(cfg, subs[i%len(subs)], period)

@@ -51,9 +51,7 @@ func (s *Stack) Fig4() *Table {
 // measureSwitch runs a two-thread ping-pong on one CPU and extracts the
 // per-switch cost: (elapsed - pure compute) / switches.
 func (s *Stack) measureSwitch(bar fig4Bar) int64 {
-	st := *s
-	st.Topo.Sockets = 1
-	st.Topo.CoresPerSocket = 1
+	st := s.WithCPUs(1)
 	eng, m := st.Build()
 	cfg := nautilus.Config{
 		Timing: bar.timing,

@@ -21,7 +21,7 @@ type Fig6Config struct {
 // scales on KNL.
 func DefaultFig6Config() Fig6Config {
 	return Fig6Config{
-		CPUCounts: []int{1, 2, 4, 8, 16, 32, 64},
+		CPUCounts: []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
 		Kernels:   []workloads.NASKernel{workloads.BT(), workloads.SP()},
 		Steps:     6,
 	}
@@ -93,9 +93,7 @@ func (s *Stack) EPCC(cpus int) *Table {
 	for _, b := range workloads.EPCC() {
 		row := []string{b.Name}
 		for _, mode := range []omp.Mode{omp.ModeLinux, omp.ModeRTK, omp.ModePIK, omp.ModeCCK} {
-			st := *s
-			st.Topo.Sockets = 1
-			st.Topo.CoresPerSocket = cpus
+			st := s.WithCPUs(cpus)
 			_, m := st.Build()
 			rt := omp.New(m, mode, s.Seed)
 			row = append(row, f1(rt.RunEPCC(b)))
@@ -107,9 +105,7 @@ func (s *Stack) EPCC(cpus int) *Table {
 }
 
 func (s *Stack) ompRun(mode omp.Mode, cpus int, k workloads.NASKernel) int64 {
-	st := *s
-	st.Topo.Sockets = 1
-	st.Topo.CoresPerSocket = cpus
+	st := s.WithCPUs(cpus)
 	_, m := st.Build()
 	rt := omp.New(m, mode, s.Seed)
 	return rt.RunKernel(k)
@@ -134,9 +130,7 @@ func (s *Stack) Schedules(cpus int) *Table {
 		for _, mode := range []omp.Mode{omp.ModeLinux, omp.ModeRTK} {
 			row := []string{w.name, mode.String()}
 			for _, sched := range []omp.Schedule{omp.SchedStatic, omp.SchedDynamic, omp.SchedGuided} {
-				st := *s
-				st.Topo.Sockets = 1
-				st.Topo.CoresPerSocket = cpus
+				st := s.WithCPUs(cpus)
 				_, m := st.Build()
 				rt := omp.New(m, mode, s.Seed)
 				row = append(row, f1(float64(rt.RunLoop(items, w.cost, sched, 16))/1e3))
@@ -165,9 +159,7 @@ func (s *Stack) TaskGranularity(cpus int) *Table {
 			work += n.Cycles
 		}
 		for _, mode := range []omp.Mode{omp.ModeLinux, omp.ModeRTK, omp.ModeCCK} {
-			st := *s
-			st.Topo.Sockets = 1
-			st.Topo.CoresPerSocket = cpus
+			st := s.WithCPUs(cpus)
 			_, m := st.Build()
 			rt := omp.New(m, mode, s.Seed)
 			mk, gst := rt.RunTaskGraph(nodes)

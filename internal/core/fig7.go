@@ -42,16 +42,26 @@ func (s *Stack) Fig7() *Table {
 	return t
 }
 
+// DefaultFig7SweepCores is Fig7Sweep's core-count axis: the paper's
+// server-scale points plus the 256–1024 range matching the sharded
+// machine's reach. The top two points dominate the sweep's runtime.
+var DefaultFig7SweepCores = []int{8, 16, 24, 48, 256, 1024}
+
 // Fig7Sweep regenerates the §V-B scale claim: "the benefits grow with
 // scale and disaggregation" — speedup as a function of core count and of
 // cross-socket (disaggregation-like) latency.
 func (s *Stack) Fig7Sweep() *Table {
+	return s.Fig7SweepCores(DefaultFig7SweepCores)
+}
+
+// Fig7SweepCores is Fig7Sweep on an explicit core-count axis, so tests
+// and quick runs can drop the expensive large-N points.
+func (s *Stack) Fig7SweepCores(coreCounts []int) *Table {
 	t := &Table{
 		ID:     "fig7-sweep",
 		Title:  "Deactivation benefit vs scale and disaggregation",
 		Header: []string{"cores", "remote-latency x", "avg speedup", "avg energy reduction"},
 	}
-	coreCounts := []int{8, 16, 24, 48}
 	latencies := []int64{1, 4}
 	benches := workloads.PBBS()
 	type point struct {

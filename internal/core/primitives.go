@@ -86,9 +86,7 @@ func (s *Stack) linuxSignalTailP99(lx *linux.Stack) int64 {
 // appCompletion runs the heartbeat workload on a substrate and returns
 // its completion time.
 func (s *Stack) appCompletion(sub heartbeat.Substrate) sim.Time {
-	st := *s
-	st.Topo.Sockets = 1
-	st.Topo.CoresPerSocket = 16
+	st := s.WithCPUs(16)
 	_, m := st.Build()
 	cfg := heartbeat.DefaultConfig()
 	cfg.Substrate = sub

@@ -56,6 +56,15 @@ type Config struct {
 	SliceItems int64
 	// Seed fixes victim selection.
 	Seed uint64
+	// Domains partitions the workers into independent steal domains
+	// (0 or 1 keeps the single global domain, the legacy behavior).
+	// Each domain owns a contiguous worker range and a proportional
+	// share of the items, and steals never cross domains, so every
+	// domain's scheduler state is confined to its workers' CPUs. When
+	// the machine runs on a sharded engine, Domains must equal the
+	// engine's shard count: domain = shard is exactly the shard-safety
+	// contract that lets the windows run concurrently.
+	Domains int
 }
 
 // DefaultConfig returns a TPAL-like configuration at ♥ = 100 µs (in
@@ -90,11 +99,22 @@ type WorkerStats struct {
 	Beats         []sim.Time // heartbeat arrival timestamps
 }
 
+// domain is one steal domain: a contiguous worker range with its own
+// share of the items and its own termination counter. All of its state
+// is only ever touched from its workers' CPUs (one shard, when sharded).
+type domain struct {
+	id        int
+	lo, hi    int // worker index range [lo, hi)
+	remaining int64
+	doneAt    sim.Time
+}
+
 // worker is one TPAL worker bound to a CPU.
 type worker struct {
 	rt    *Runtime
 	id    int
 	cpu   *machine.CPU
+	dom   *domain // nil in the legacy single-domain mode
 	deque *Deque
 	cur   *Frame
 	rng   *sim.RNG
@@ -113,7 +133,9 @@ type Runtime struct {
 	L   *linux.Stack // present for the Linux substrates
 
 	workers   []*worker
-	remaining int64 // items not yet executed, for termination
+	domains   []*domain
+	remaining int64 // items not yet executed, for termination (legacy mode)
+	reported  int   // domains whose completion reached the coordinator
 	doneAt    sim.Time
 	running   bool
 	pacer     *linux.HeartbeatPacer
@@ -133,6 +155,33 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 		w := &worker{rt: rt, id: i, cpu: cpu, deque: NewDeque(), rng: rng.Split()}
 		rt.workers = append(rt.workers, w)
 	}
+	if sh := m.Eng.Shards(); sh > 1 && cfg.Domains != sh {
+		// Legacy global stealing (Domains <= 1) freely crosses CPUs and
+		// is only shard-safe on the sequential engine.
+		panic("heartbeat: domain count must equal the engine's shard count")
+	}
+	if d := cfg.Domains; d > 1 {
+		n := len(rt.workers)
+		if d > n {
+			panic("heartbeat: more domains than workers")
+		}
+		rt.domains = make([]*domain, d)
+		for i := range rt.domains {
+			rt.domains[i] = &domain{id: i, lo: n, hi: 0}
+		}
+		// Worker i's domain uses the same i*D/n partition the machine
+		// uses for CPU->shard assignment, so domain d is exactly shard d.
+		for i, w := range rt.workers {
+			dom := rt.domains[i*d/n]
+			w.dom = dom
+			if i < dom.lo {
+				dom.lo = i
+			}
+			if i+1 > dom.hi {
+				dom.hi = i + 1
+			}
+		}
+	}
 	return rt
 }
 
@@ -142,11 +191,33 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 // work is complete (the engine is run to completion internally).
 func (rt *Runtime) Run(totalItems, cyclesPerItem, grain int64) {
 	rt.TotalItems = totalItems
-	rt.remaining = totalItems
 	rt.running = true
-	root := &Frame{Lo: 0, Hi: totalItems, CyclesPerItem: cyclesPerItem, Grain: grain}
-	rt.workers[0].deque.PushBottom(root)
+	if len(rt.domains) > 0 {
+		// Domain mode: each domain is seeded with its proportional item
+		// range on its first worker; termination is counted per domain.
+		nd := int64(len(rt.domains))
+		for _, d := range rt.domains {
+			lo := totalItems * int64(d.id) / nd
+			hi := totalItems * int64(d.id+1) / nd
+			d.remaining = hi - lo
+			if hi > lo {
+				rt.workers[d.lo].deque.PushBottom(&Frame{Lo: lo, Hi: hi, CyclesPerItem: cyclesPerItem, Grain: grain})
+			} else {
+				rt.reported++ // empty domain: nothing will ever report
+			}
+		}
+	} else {
+		rt.remaining = totalItems
+		root := &Frame{Lo: 0, Hi: totalItems, CyclesPerItem: cyclesPerItem, Grain: grain}
+		rt.workers[0].deque.PushBottom(root)
+	}
 
+	if len(rt.domains) > 0 && rt.reported == len(rt.domains) {
+		// Nothing to do in any domain; don't start a substrate nobody
+		// will stop.
+		rt.running = false
+		return
+	}
 	rt.installSubstrate()
 	for _, w := range rt.workers {
 		w.step()
@@ -209,6 +280,16 @@ func (rt *Runtime) installSubstrate() {
 				rt.workers[workerCPUs[idx]].cpu.Raise(machine.VecHeartbeat)
 			},
 		}
+		if len(rt.domains) > 0 {
+			// Domain mode: deliveries must land on each worker's own
+			// shard, and the pending/coalescing state with them.
+			qs := make([]sim.Queue, len(workerCPUs))
+			for i, c := range workerCPUs {
+				qs[i] = rt.workers[c].cpu.Queue()
+			}
+			rt.pacer.WorkerQueues = qs
+			rt.pacer.PacerQueue = rt.M.CPU(0).Queue()
+		}
 		rt.pacer.Start()
 
 	case SubstrateLinuxPolling:
@@ -216,9 +297,16 @@ func (rt *Runtime) installSubstrate() {
 	}
 }
 
+// q returns the worker's event queue: its CPU's shard, which on the
+// sequential engine is the engine itself.
+func (w *worker) q() sim.Queue { return w.cpu.Queue() }
+
+// now returns the worker's shard-local clock.
+func (w *worker) now() sim.Time { return w.q().Now() }
+
 // onBeat is the promotion executed when a heartbeat reaches a worker.
 func (w *worker) onBeat(ctx *machine.IntrContext) {
-	w.stats.Beats = append(w.stats.Beats, w.rt.M.Eng.Now())
+	w.stats.Beats = append(w.stats.Beats, w.now())
 	if w.cur != nil {
 		if upper := w.cur.SplitAbove(w.sliceEnd); upper != nil {
 			w.deque.PushBottom(upper)
@@ -236,7 +324,13 @@ func (w *worker) onBeat(ctx *machine.IntrContext) {
 // repeat. All blocking is via engine events.
 func (w *worker) step() {
 	rt := w.rt
-	if !rt.running {
+	if w.dom != nil {
+		// Domain mode: the stop condition is domain-local (rt.running is
+		// coordinator state on CPU 0's shard and may not be read here).
+		if w.dom.remaining <= 0 {
+			return
+		}
+	} else if !rt.running {
 		return
 	}
 	if w.cur == nil {
@@ -248,23 +342,28 @@ func (w *worker) step() {
 			w.sliceEnd = 0
 		} else {
 			// Idle: back off and retry.
-			rt.M.Eng.After(sim.Time(rt.Cfg.IdleBackoff), w.step)
+			w.q().After(sim.Time(rt.Cfg.IdleBackoff), w.step)
 			return
 		}
 	}
 	w.execSlice()
 }
 
-// steal picks a random victim and tries to take the top of its deque.
+// steal picks a random victim inside the worker's steal domain (the
+// whole machine in legacy mode) and tries to take the top of its deque.
 func (w *worker) steal() *Frame {
 	rt := w.rt
-	n := len(rt.workers)
+	lo, hi := 0, len(rt.workers)
+	if w.dom != nil {
+		lo, hi = w.dom.lo, w.dom.hi
+	}
+	n := hi - lo
 	if n == 1 {
 		return nil
 	}
 	w.stats.StealAttempts++
 	w.stats.StealCycles += rt.Cfg.StealCost
-	victim := rt.workers[(w.id+1+w.rng.Intn(n-1))%n]
+	victim := rt.workers[lo+((w.id-lo)+1+w.rng.Intn(n-1))%n]
 	if f := victim.deque.StealTop(); f != nil {
 		w.stats.StealHits++
 		return f
@@ -294,9 +393,13 @@ func (w *worker) execSlice() {
 		f.Lo += items
 		w.stats.Items += items
 		w.stats.WorkCycles += items * f.CyclesPerItem
-		rt.remaining -= items
+		if w.dom != nil {
+			w.dom.remaining -= items
+		} else {
+			rt.remaining -= items
+		}
 		if rt.Cfg.Substrate == SubstrateLinuxPolling {
-			now := rt.M.Eng.Now()
+			now := w.now()
 			if now.Sub(w.lastPoll) >= rt.Cfg.PeriodCycles {
 				w.lastPoll = now
 				w.pollBeat()
@@ -305,7 +408,12 @@ func (w *worker) execSlice() {
 		if f.Remaining() == 0 {
 			w.cur = nil
 		}
-		if rt.remaining <= 0 {
+		if w.dom != nil {
+			if w.dom.remaining <= 0 {
+				rt.domainDone(w)
+				return
+			}
+		} else if rt.remaining <= 0 {
 			rt.finish()
 			return
 		}
@@ -313,9 +421,39 @@ func (w *worker) execSlice() {
 	})
 }
 
+// domainDone runs on the finishing domain's shard: stamp the domain's
+// completion time and notify the coordinator CPU with a cross-shard
+// message at IPI latency. The notification is reliable — termination is
+// protocol, not workload, so it is not routed through the machine's
+// injectable IPI path.
+func (rt *Runtime) domainDone(w *worker) {
+	w.dom.doneAt = w.now()
+	lat := sim.Time(rt.M.Model.HW.IPILatency)
+	w.q().CrossAfter(rt.M.CPU(0).Queue(), lat, rt.domainReported)
+}
+
+// domainReported runs on the coordinator's shard, once per finished
+// domain. When the last report lands, the substrate is stopped and the
+// engine drains naturally — no Halt: a sharded engine's shards sit at
+// arbitrary points mid-window, so quenching the event sources is the
+// only deterministic way to stop.
+func (rt *Runtime) domainReported() {
+	rt.reported++
+	if rt.reported < len(rt.domains) {
+		return
+	}
+	rt.running = false
+	for _, d := range rt.domains {
+		if d.doneAt > rt.doneAt {
+			rt.doneAt = d.doneAt
+		}
+	}
+	rt.stopSubstrate()
+}
+
 // pollBeat is the polling substrate's promotion point.
 func (w *worker) pollBeat() {
-	w.stats.Beats = append(w.stats.Beats, w.rt.M.Eng.Now())
+	w.stats.Beats = append(w.stats.Beats, w.now())
 	if w.cur != nil {
 		upper := w.cur.SplitAbove(w.sliceEnd)
 		if upper == nil {
@@ -338,6 +476,47 @@ func (w *worker) pollBeat() {
 // hook: a slice's Lo advance and the remaining decrement happen in the
 // same callback, and promotion/steal moves conserve items.
 func (rt *Runtime) CheckInvariants() error {
+	if len(rt.domains) > 0 {
+		// Domain mode: every domain's check is self-contained; walking
+		// them all is only safe when the engine is quiescent (use
+		// CheckDomainInvariants from per-shard hooks during a run).
+		for _, d := range rt.domains {
+			if err := rt.CheckDomainInvariants(d.id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pending, err := rt.checkWorkerRange(0, len(rt.workers))
+	if err != nil {
+		return err
+	}
+	if rt.running && pending != rt.remaining {
+		return fmt.Errorf("heartbeat: frames hold %d items but %d remain outstanding", pending, rt.remaining)
+	}
+	return nil
+}
+
+// CheckDomainInvariants validates one steal domain: deque structure,
+// unique frame ownership, and item conservation against the domain's
+// own termination counter. It touches only domain d's workers, so in a
+// sharded run it may be called from any event on domain d's shard —
+// which is how chaos invariant hooks are scoped per shard.
+func (rt *Runtime) CheckDomainInvariants(d int) error {
+	dom := rt.domains[d]
+	pending, err := rt.checkWorkerRange(dom.lo, dom.hi)
+	if err != nil {
+		return err
+	}
+	if dom.remaining > 0 && pending != dom.remaining {
+		return fmt.Errorf("heartbeat: domain %d frames hold %d items but %d remain outstanding", d, pending, dom.remaining)
+	}
+	return nil
+}
+
+// checkWorkerRange applies the structural and ownership checks to
+// workers [lo, hi) and returns the items their frames still hold.
+func (rt *Runtime) checkWorkerRange(lo, hi int) (int64, error) {
 	owner := make(map[*Frame]int)
 	var pending int64
 	claim := func(f *Frame, w int) error {
@@ -351,38 +530,42 @@ func (rt *Runtime) CheckInvariants() error {
 		pending += f.Remaining()
 		return nil
 	}
-	for _, w := range rt.workers {
+	for _, w := range rt.workers[lo:hi] {
 		if err := w.deque.CheckInvariants(); err != nil {
-			return fmt.Errorf("worker %d: %w", w.id, err)
+			return 0, fmt.Errorf("worker %d: %w", w.id, err)
 		}
 		for i := w.deque.top; i < len(w.deque.items); i++ {
 			if err := claim(w.deque.items[i], w.id); err != nil {
-				return err
+				return 0, err
 			}
 		}
 		if w.cur != nil {
 			if err := claim(w.cur, w.id); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
-	if rt.running && pending != rt.remaining {
-		return fmt.Errorf("heartbeat: frames hold %d items but %d remain outstanding", pending, rt.remaining)
-	}
-	return nil
+	return pending, nil
 }
 
-// finish stops the substrate and halts the engine.
+// stopSubstrate quenches the heartbeat sources: the coordinator CPU's
+// LAPIC timer and the Linux pacer. Runs on CPU 0's shard.
+func (rt *Runtime) stopSubstrate() {
+	rt.M.CPU(0).APIC().Stop()
+	if rt.pacer != nil {
+		rt.pacer.Stop()
+	}
+}
+
+// finish stops the substrate and halts the engine (legacy single-domain
+// termination).
 func (rt *Runtime) finish() {
 	if !rt.running {
 		return
 	}
 	rt.running = false
 	rt.doneAt = rt.M.Eng.Now()
-	rt.M.CPU(0).APIC().Stop()
-	if rt.pacer != nil {
-		rt.pacer.Stop()
-	}
+	rt.stopSubstrate()
 	rt.M.Eng.Halt()
 }
 

@@ -105,6 +105,10 @@ type PacerStats struct {
 	NoiseEpisodes   int64
 	DeliveredPerCPU []int64
 	DeliveryTimes   [][]sim.Time // per worker CPU, delivery timestamps
+	// CoalescedPerCPU replaces Coalesced in sharded mode, where the
+	// pending bit lives on the worker's shard and coalescing is decided
+	// at delivery; index i counts worker i's collapsed signals.
+	CoalescedPerCPU []int64
 }
 
 // HeartbeatPacer models TPAL's best available Linux mechanism (Fig. 2,
@@ -122,6 +126,17 @@ type HeartbeatPacer struct {
 	// OnBeat is invoked at each delivery on a worker (after costs).
 	OnBeat func(worker int, at sim.Time)
 
+	// WorkerQueues, when non-nil, puts the pacer in sharded mode:
+	// WorkerQueues[i] is worker i's event shard and PacerQueue is the
+	// pacer's own (CPU 0's). The pacer then cannot inspect the workers'
+	// pending bits — they are owned by the workers' shards — so every
+	// kill is sent, and POSIX coalescing is resolved at delivery on the
+	// worker's shard, where the bit actually lives. Delivery crosses
+	// shards through CrossAfter; the syscall + IPI floor keeps the delay
+	// at or above the engine lookahead.
+	WorkerQueues []sim.Queue
+	PacerQueue   sim.Queue
+
 	Stats   PacerStats
 	pending []bool
 	stopped bool
@@ -132,6 +147,9 @@ func (p *HeartbeatPacer) Start() {
 	p.pending = make([]bool, len(p.Workers))
 	p.Stats.DeliveredPerCPU = make([]int64, len(p.Workers))
 	p.Stats.DeliveryTimes = make([][]sim.Time, len(p.Workers))
+	if p.WorkerQueues != nil {
+		p.Stats.CoalescedPerCPU = make([]int64, len(p.Workers))
+	}
 	p.round()
 }
 
@@ -152,6 +170,15 @@ func (p *HeartbeatPacer) round() {
 	for i, cpu := range p.Workers {
 		i, cpu := i, cpu
 		pacerBusy += s.SyscallCost()
+		if p.WorkerQueues != nil {
+			// Sharded: always send; the worker's shard coalesces.
+			p.Stats.SignalsSent++
+			deliveryDelay := pacerBusy + s.Model.HW.IPILatency + s.SampleTimerJitter()
+			p.PacerQueue.CrossAfter(p.WorkerQueues[i], sim.Time(deliveryDelay), func() {
+				p.deliverSharded(i)
+			})
+			continue
+		}
 		if p.pending[i] {
 			// Previous signal still pending on this worker: POSIX
 			// collapses them.
@@ -177,7 +204,11 @@ func (p *HeartbeatPacer) round() {
 		gap += s.SampleNoise()
 		p.Stats.NoiseEpisodes++
 	}
-	eng.After(sim.Time(gap), p.round)
+	if p.WorkerQueues != nil {
+		p.PacerQueue.After(sim.Time(gap), p.round)
+	} else {
+		eng.After(sim.Time(gap), p.round)
+	}
 }
 
 // deliver executes one signal delivery on a worker CPU.
@@ -193,6 +224,29 @@ func (p *HeartbeatPacer) deliver(i, cpu int) {
 		p.OnBeat(i, at)
 	}
 	s.M.Eng.After(sim.Time(cost), func() {
+		p.pending[i] = false
+	})
+}
+
+// deliverSharded executes one signal delivery on the worker's own shard:
+// a still-pending prior signal collapses the new one (the sharded
+// equivalent of the pacer-side skip), otherwise the delivery is recorded
+// and the pending bit holds until the handler completes.
+func (p *HeartbeatPacer) deliverSharded(i int) {
+	if p.pending[i] {
+		p.Stats.CoalescedPerCPU[i]++
+		return
+	}
+	p.pending[i] = true
+	q := p.WorkerQueues[i]
+	at := q.Now()
+	p.Stats.DeliveredPerCPU[i]++
+	p.Stats.DeliveryTimes[i] = append(p.Stats.DeliveryTimes[i], at)
+	if p.OnBeat != nil {
+		p.OnBeat(i, at)
+	}
+	cost := p.S.SignalPathCost() + p.HandlerCost
+	q.After(sim.Time(cost), func() {
 		p.pending[i] = false
 	})
 }

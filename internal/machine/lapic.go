@@ -53,7 +53,7 @@ func (l *LAPIC) schedule(delay int64) {
 	if f := l.cpu.m.TimerFault; f != nil {
 		delay += f(l.cpu.ID, l.vector, delay)
 	}
-	l.ev = l.cpu.eng.After(sim.Time(delay), l.fire)
+	l.ev = l.cpu.q.After(sim.Time(delay), l.fire)
 }
 
 func (l *LAPIC) fire() {

@@ -108,8 +108,12 @@ type CPU struct {
 	ID     int
 	Socket int
 
-	m   *Machine
-	eng *sim.Engine
+	m *Machine
+	// q is the CPU's event shard: all of the CPU's own activity runs on
+	// it, and cross-CPU effects (IPIs) go through q.CrossAfter so the
+	// sharded engine can advance CPU groups concurrently.
+	q     sim.Queue
+	shard int
 
 	// Execution state: at most one run in flight.
 	running      bool
@@ -133,11 +137,14 @@ type CPU struct {
 
 // Machine is the full simulated platform.
 type Machine struct {
-	Eng   *sim.Engine
+	Eng   sim.Sim
 	Model model.Model
-	Topo  Topology
 	CPUs  []*CPU
 	RNG   *sim.RNG
+
+	// topo is fixed at construction: per-CPU structures are sized from
+	// it, so it must never change over the machine's lifetime.
+	topo Topology
 
 	// Fault hooks, when non-nil, perturb hardware-level delivery; they
 	// are installed by the fault-injection harness (internal/chaos) and
@@ -154,25 +161,38 @@ type Machine struct {
 }
 
 // New constructs a machine with the given topology and cost model. The
-// seed fixes all stochastic behavior.
-func New(eng *sim.Engine, m model.Model, topo Topology, seed uint64) *Machine {
+// topology is final: per-CPU structures are sized from it here, and it
+// is immutable afterwards (read it back with Topo). The seed fixes all
+// stochastic behavior.
+//
+// The engine may be the sequential sim.Engine or a sim.ShardedEngine;
+// with S shards, CPU i lives on shard i*S/n (contiguous CPU blocks),
+// and the engine's lookahead must not exceed the model's IPI latency —
+// the machine's cross-shard latency floor.
+func New(eng sim.Sim, m model.Model, topo Topology, seed uint64) *Machine {
 	if topo.Sockets <= 0 || topo.CoresPerSocket <= 0 {
 		panic("machine: invalid topology")
+	}
+	shards := eng.Shards()
+	if shards > 1 && int64(eng.Lookahead()) > m.HW.IPILatency {
+		panic("machine: engine lookahead exceeds the IPI latency floor")
 	}
 	mach := &Machine{
 		Eng:   eng,
 		Model: m,
-		Topo:  topo,
+		topo:  topo,
 		RNG:   sim.NewRNG(seed),
 	}
 	n := topo.NumCPUs()
 	mach.CPUs = make([]*CPU, n)
 	for i := 0; i < n; i++ {
+		shard := i * shards / n
 		cpu := &CPU{
 			ID:       i,
 			Socket:   i / topo.CoresPerSocket,
 			m:        mach,
-			eng:      eng,
+			q:        eng.Queue(shard),
+			shard:    shard,
 			handlers: make(map[Vector]Handler),
 			delivery: make(map[Vector]Delivery),
 		}
@@ -185,8 +205,19 @@ func New(eng *sim.Engine, m model.Model, topo Topology, seed uint64) *Machine {
 // Now returns the current simulated time.
 func (m *Machine) Now() sim.Time { return m.Eng.Now() }
 
+// Topo returns the machine's (immutable) topology.
+func (m *Machine) Topo() Topology { return m.topo }
+
 // CPU returns the CPU with the given id.
 func (m *Machine) CPU(id int) *CPU { return m.CPUs[id] }
+
+// ShardOf returns the event shard CPU id lives on.
+func (m *Machine) ShardOf(id int) int { return m.CPUs[id].shard }
+
+// Queue returns the CPU's event shard, for runtimes that schedule their
+// own events on the CPU (cross-shard sends must use CrossAfter with a
+// delay of at least the machine's IPI latency).
+func (c *CPU) Queue() sim.Queue { return c.q }
 
 // APIC returns the CPU's local APIC.
 func (c *CPU) APIC() *LAPIC { return c.apic }
@@ -241,12 +272,12 @@ func (c *CPU) startRun(cycles int64, done func()) {
 	c.running = true
 	c.runRemaining = cycles
 	c.runDone = done
-	c.runResumedAt = c.eng.Now()
-	c.runEv = c.eng.After(sim.Time(cycles), c.finishRun)
+	c.runResumedAt = c.q.Now()
+	c.runEv = c.q.After(sim.Time(cycles), c.finishRun)
 }
 
 func (c *CPU) finishRun() {
-	c.Stats.BusyCycles += c.eng.Now().Sub(c.runResumedAt)
+	c.Stats.BusyCycles += c.q.Now().Sub(c.runResumedAt)
 	done := c.runDone
 	c.running = false
 	c.runEv = nil
@@ -262,7 +293,7 @@ func (c *CPU) pauseRun() *PausedRun {
 	if !c.running {
 		return nil
 	}
-	consumed := c.eng.Now().Sub(c.runResumedAt)
+	consumed := c.q.Now().Sub(c.runResumedAt)
 	c.Stats.BusyCycles += consumed
 	remaining := c.runRemaining - consumed
 	if remaining < 0 {
@@ -291,7 +322,7 @@ func (c *CPU) Resume(p *PausedRun) {
 // (x86-like: IF is clear during handlers).
 func (c *CPU) Raise(v Vector) {
 	if c.maskCount > 0 || c.inHandler {
-		c.pending = append(c.pending, pendingIntr{vec: v, at: c.eng.Now()})
+		c.pending = append(c.pending, pendingIntr{vec: v, at: c.q.Now()})
 		return
 	}
 	c.dispatch(v)
@@ -333,11 +364,11 @@ func (c *CPU) dispatch(v Vector) {
 	c.Stats.DispatchCycles += entry + exit
 
 	// Entry path, then handler body, then exit path, then resume.
-	c.eng.After(sim.Time(entry), func() {
+	c.q.After(sim.Time(entry), func() {
 		ctx := &IntrContext{CPU: c, Vector: v}
 		h(ctx)
 		c.Stats.HandlerCycles += ctx.cost
-		c.eng.After(sim.Time(ctx.cost+exit), func() {
+		c.q.After(sim.Time(ctx.cost+exit), func() {
 			c.inHandler = false
 			// Deliver pended interrupts before resuming, mirroring
 			// hardware that re-checks interrupt lines at iret; then
@@ -383,39 +414,56 @@ func (c *CPU) chainPendingThen(fin func()) {
 		exit = c.m.Model.HW.InterruptReturn
 	}
 	c.Stats.DispatchCycles += entry + exit
-	c.eng.After(sim.Time(entry), func() {
+	c.q.After(sim.Time(entry), func() {
 		ctx := &IntrContext{CPU: c, Vector: p.vec}
 		h(ctx)
 		c.Stats.HandlerCycles += ctx.cost
-		c.eng.After(sim.Time(ctx.cost+exit), func() {
+		c.q.After(sim.Time(ctx.cost+exit), func() {
 			c.inHandler = false
 			c.chainPendingThen(fin)
 		})
 	})
 }
 
-// SendIPI sends an inter-processor interrupt to dst.
+// SendIPI sends an inter-processor interrupt to dst. The wire event
+// always travels at the modeled latency; the fault hook (chaos) is
+// consulted at arrival, on the destination's shard — its decision
+// streams are keyed per destination CPU, so this keeps every consult on
+// the shard that owns the stream while preserving the effective
+// delivery time (base latency + injected delay).
 func (c *CPU) SendIPI(dst *CPU, v Vector) {
 	c.Stats.IPIsSent++
 	lat := c.m.Model.HW.IPILatency
 	if c.Socket != dst.Socket {
 		lat += c.m.Model.Coherence.RemoteSocket
 	}
+	src := c.ID
+	c.q.CrossAfter(dst.q, sim.Time(lat), func() { dst.arriveIPI(src, v) })
+}
+
+// arriveIPI completes an IPI on the destination CPU: consult the fault
+// hook, then deliver now or after the injected delay. Dropped IPIs are
+// accounted to the destination (the CPU that lost the interrupt).
+func (c *CPU) arriveIPI(src int, v Vector) {
 	if f := c.m.IPIFault; f != nil {
-		drop, extra := f(c.ID, dst.ID, v)
+		drop, extra := f(src, c.ID, v)
 		if drop {
 			c.Stats.IPIsDropped++
 			return
 		}
-		lat += extra
+		if extra > 0 {
+			c.q.After(sim.Time(extra), func() { c.Raise(v) })
+			return
+		}
 	}
-	c.eng.After(sim.Time(lat), func() { dst.Raise(v) })
+	c.Raise(v)
 }
 
 // BroadcastIPI sends an IPI to every other CPU. The LAPIC broadcast
 // mechanism delivers with a small per-destination skew.
 func (c *CPU) BroadcastIPI(v Vector) {
 	i := int64(0)
+	src := c.ID
 	for _, dst := range c.m.CPUs {
 		if dst == c {
 			continue
@@ -426,15 +474,7 @@ func (c *CPU) BroadcastIPI(v Vector) {
 			lat += c.m.Model.Coherence.RemoteSocket
 		}
 		i++
-		if f := c.m.IPIFault; f != nil {
-			drop, extra := f(c.ID, dst.ID, v)
-			if drop {
-				c.Stats.IPIsDropped++
-				continue
-			}
-			lat += extra
-		}
 		d := dst
-		c.eng.After(sim.Time(lat), func() { d.Raise(v) })
+		c.q.CrossAfter(d.q, sim.Time(lat), func() { d.arriveIPI(src, v) })
 	}
 }

@@ -37,11 +37,11 @@ func (k *Kernel) initMem() {
 	if zoneBytes == 0 || zoneBytes&(zoneBytes-1) != 0 {
 		zoneBytes = defaultZoneBytes
 	}
-	numa, err := mem.NewNUMA(k.M.Topo.Sockets, zoneBytes, 6)
+	numa, err := mem.NewNUMA(k.M.Topo().Sockets, zoneBytes, 6)
 	if err != nil {
 		panic("nautilus: " + err.Error())
 	}
-	if err := numa.AttachCaches(k.M.Topo.NumCPUs(), 0); err != nil {
+	if err := numa.AttachCaches(k.M.Topo().NumCPUs(), 0); err != nil {
 		panic("nautilus: " + err.Error())
 	}
 	k.Mem = numa
