@@ -3,18 +3,27 @@ GO ?= go
 # Minimum per-package statement coverage (percent) for the cover gate.
 COVER_FLOOR ?= 60
 
-.PHONY: build vet lint test short race race-mem race-machine bench bench-mem bench-machine benchsmoke cover all check
+.PHONY: build vet detvet lint test short race race-mem race-machine race-passes bench bench-mem bench-machine benchsmoke cover all check
 
 build:
 	$(GO) build ./...
 
-vet:
+vet: detvet
 	$(GO) vet ./...
 
+# Determinism vet over the repo's own Go sources: the packages that
+# compute simulated time or experiment tables must not read the wall
+# clock, the global math/rand generator, or map iteration order.
+detvet:
+	$(GO) run ./cmd/detvet
+
 # Static memory-safety lint over the shipped IR modules (examples +
-# CARAT kernel suite); non-zero exit on any diagnostic.
+# CARAT kernel suite); non-zero exit on any diagnostic. The second leg
+# checks the optimizer/linter lockstep: with the analysis-driven
+# optimizer applied first, the opportunity linter must also be silent.
 lint:
 	$(GO) run ./cmd/interweave lint examples/... kernels/...
+	$(GO) run ./cmd/interweave lint -opt -O examples/... kernels/...
 
 test:
 	$(GO) test ./...
@@ -38,6 +47,13 @@ race-machine:
 	$(GO) test -race ./internal/sim -run 'TestSharded|TestCancel'
 	$(GO) test -race ./internal/core -run 'DomainOracle'
 	$(GO) test -race ./internal/chaos -run 'TestShardedInvariantHooksFirePerShard'
+
+# Focused race leg for the optimizer: the analysis-driven passes and
+# their dataflow substrate share no state, and this keeps it that way
+# when experiment cells run them from parallel workers.
+race-passes:
+	$(GO) test -race ./internal/analysis ./internal/passes -run 'TestGlobalDCE|TestLICM|TestCoalesce|TestOptimize|TestAvailCopies|TestAnalyzePurity|TestDomTree|TestLoopNest'
+	$(GO) test -race ./internal/core -run 'TestCARATGeomeanUnderSix'
 
 # Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
 # fast path vs reference engine vs the pinned seed baseline).
@@ -77,4 +93,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race race-mem race-machine cover benchsmoke
+check: build vet lint race race-mem race-machine race-passes cover benchsmoke

@@ -29,6 +29,7 @@ import (
 	"testing"
 
 	"repro/internal/interp"
+	"repro/internal/passes"
 	"repro/internal/workloads"
 )
 
@@ -44,15 +45,23 @@ type report struct {
 	Seed                 map[string]entry `json:"seed,omitempty"`
 	Fast                 map[string]entry `json:"fast"`
 	Reference            map[string]entry `json:"reference"`
+	Opt                  map[string]entry `json:"opt"`
 	GeomeanSpeedupVsSeed float64          `json:"geomean_speedup_vs_seed,omitempty"`
 	GeomeanSpeedupVsRef  float64          `json:"geomean_speedup_vs_reference,omitempty"`
+	GeomeanSpeedupOpt    float64          `json:"geomean_speedup_opt_vs_fast,omitempty"`
 	CPU                  string           `json:"cpu,omitempty"`
 	Note                 string           `json:"note,omitempty"`
 }
 
-func benchKernel(k workloads.IRKernel, reference bool) entry {
+func benchKernel(k workloads.IRKernel, reference, optimize bool) entry {
 	r := testing.Benchmark(func(b *testing.B) {
-		ip, err := interp.New(k.Build())
+		m := k.Build()
+		if optimize {
+			if _, err := passes.Optimize(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ip, err := interp.New(m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,8 +94,14 @@ func benchKernel(k workloads.IRKernel, reference bool) entry {
 // `make check`, with no timing thresholds.
 func quickCheck() error {
 	for _, k := range workloads.CARATSuite() {
-		run := func(reference bool) (uint64, interp.Stats, interface{}, error) {
-			ip, err := interp.New(k.Build())
+		run := func(reference, optimize bool) (uint64, interp.Stats, interface{}, error) {
+			m := k.Build()
+			if optimize {
+				if _, err := passes.Optimize(m); err != nil {
+					return 0, interp.Stats{}, nil, err
+				}
+			}
+			ip, err := interp.New(m)
 			if err != nil {
 				return 0, interp.Stats{}, nil, err
 			}
@@ -98,8 +113,8 @@ func quickCheck() error {
 			}
 			return ret, ip.Stats, ip.Heap.Snapshot(), err
 		}
-		fr, fs, fh, ferr := run(false)
-		rr, rs, rh, rerr := run(true)
+		fr, fs, fh, ferr := run(false, false)
+		rr, rs, rh, rerr := run(true, false)
 		if ferr != nil || rerr != nil {
 			return fmt.Errorf("%s: fast err %v, reference err %v", k.Name, ferr, rerr)
 		}
@@ -109,7 +124,21 @@ func quickCheck() error {
 		if k.Want != 0 && fr != k.Want {
 			return fmt.Errorf("%s: checksum %d, want %d", k.Name, fr, k.Want)
 		}
-		fmt.Printf("ok  %-14s ret=%d steps=%d cycles=%d\n", k.Name, fr, fs.Steps, fs.Cycles)
+		// The optimized module must stay bit-identical across engines
+		// and preserve the pristine checksum.
+		ofr, ofs, ofh, oferr := run(false, true)
+		orr, ors, orh, orerr := run(true, true)
+		if oferr != nil || orerr != nil {
+			return fmt.Errorf("%s: optimized fast err %v, reference err %v", k.Name, oferr, orerr)
+		}
+		if ofr != orr || ofs != ors || !reflect.DeepEqual(ofh, orh) {
+			return fmt.Errorf("%s: optimized engines diverge (ret %d vs %d)", k.Name, ofr, orr)
+		}
+		if ofr != fr {
+			return fmt.Errorf("%s: optimizer changed checksum %d -> %d", k.Name, fr, ofr)
+		}
+		fmt.Printf("ok  %-14s ret=%d steps=%d cycles=%d opt-cycles=%d\n",
+			k.Name, fr, fs.Steps, fs.Cycles, ofs.Cycles)
 	}
 	return nil
 }
@@ -188,6 +217,7 @@ func main() {
 	rep := report{
 		Fast:      make(map[string]entry),
 		Reference: make(map[string]entry),
+		Opt:       make(map[string]entry),
 		Note:      "ns_per_op are machine-dependent; the tracked claims are the geomeans and fast-path allocs_per_op",
 	}
 	// Carry the pinned seed baseline forward from an existing file.
@@ -203,15 +233,19 @@ func main() {
 	for _, k := range workloads.CARATSuite() {
 		names = append(names, k.Name)
 		fmt.Printf("bench %-14s fast...", k.Name)
-		rep.Fast[k.Name] = benchKernel(k, false)
+		rep.Fast[k.Name] = benchKernel(k, false, false)
 		fmt.Printf(" %8d ns/op %2d allocs/op   reference...",
 			rep.Fast[k.Name].NsPerOp, rep.Fast[k.Name].AllocsPerOp)
-		rep.Reference[k.Name] = benchKernel(k, true)
-		fmt.Printf(" %8d ns/op\n", rep.Reference[k.Name].NsPerOp)
+		rep.Reference[k.Name] = benchKernel(k, true, false)
+		fmt.Printf(" %8d ns/op   opt...", rep.Reference[k.Name].NsPerOp)
+		rep.Opt[k.Name] = benchKernel(k, false, true)
+		fmt.Printf(" %8d ns/op\n", rep.Opt[k.Name].NsPerOp)
 	}
 	sort.Strings(names)
 
 	rep.GeomeanSpeedupVsRef = round2(geomean(rep.Reference, rep.Fast))
+	rep.GeomeanSpeedupOpt = round2(geomean(rep.Fast, rep.Opt))
+	fmt.Printf("geomean speedup opt vs fast: %.2fx\n", rep.GeomeanSpeedupOpt)
 	if len(rep.Seed) > 0 {
 		rep.GeomeanSpeedupVsSeed = round2(geomean(rep.Seed, rep.Fast))
 		fmt.Printf("geomean speedup vs seed: %.2fx, vs reference engine: %.2fx\n",

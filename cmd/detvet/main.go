@@ -1,0 +1,46 @@
+// Command detvet runs the determinism vet (internal/detvet) over the
+// given directories and exits non-zero if any finding survives.
+//
+// Usage:
+//
+//	detvet DIR...
+//
+// With no arguments it vets the deterministic core of this repository:
+// internal/sim, internal/machine, internal/heartbeat, internal/exp.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/detvet"
+)
+
+// defaultDirs is the deterministic core: packages whose outputs must be
+// reproducible from a seed alone.
+var defaultDirs = []string{
+	"internal/sim",
+	"internal/machine",
+	"internal/heartbeat",
+	"internal/exp",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	findings, err := detvet.CheckDirs(dirs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("detvet: %d dir(s) clean\n", len(dirs))
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/passes"
 	"repro/internal/workloads"
 )
 
@@ -253,18 +254,27 @@ func main() {
 // suffix as a prefix match (`kernels/...`). With no patterns it checks
 // everything that ships — the example compiler module and the CARAT
 // kernels — all of which must be clean; the seeded `buggy/...` modules
-// are reachable only by explicit pattern. Returns 2 on usage errors,
-// 1 when any diagnostic is reported, 0 when clean.
+// are reachable only by explicit pattern. -opt adds the
+// optimizer-opportunity diagnostics (redundant copies, loop-invariant
+// recomputation, partially-dead stores); -O runs the standard
+// optimization pipeline first, so `-opt -O` must always be clean (the
+// linter and the passes share their analyses). Returns 2 on usage
+// errors, 1 when any diagnostic is reported, 0 when clean.
 func runLint(argv []string) int {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
 	list := fs.Bool("list", false, "list lintable module names and exit")
+	opt := fs.Bool("opt", false, "also report optimizer opportunities (what passes.Optimize would remove)")
+	optimize := fs.Bool("O", false, "run the standard optimization pipeline before linting")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: interweave lint [-json] [-list] [pattern ...]
+		fmt.Fprintln(os.Stderr, `usage: interweave lint [-json] [-list] [-opt] [-O] [pattern ...]
 
 Lints IR modules with the internal/analysis memory-safety checker:
 use-before-def, dead stores, use-after-free, double-free, leaks,
-unreachable blocks. A pattern is a module name, or a prefix ending in
+unreachable blocks. -opt adds optimizer-opportunity diagnostics
+(redundant-copy, loop-invariant-recompute, partially-dead-store); -O
+optimizes the module first, so "-opt -O" reports nothing by
+construction. A pattern is a module name, or a prefix ending in
 "..." (e.g. kernels/...). Default patterns: examples/... kernels/...
 Seeded demonstration bugs live under buggy/...`)
 	}
@@ -302,7 +312,16 @@ Seeded demonstration bugs live under buggy/...`)
 			continue
 		}
 		checked++
+		if *optimize {
+			if _, err := passes.Optimize(t.Mod); err != nil {
+				fmt.Fprintf(os.Stderr, "lint: optimizing %s: %v\n", t.Name, err)
+				return 2
+			}
+		}
 		diags := analysis.Lint(t.Mod, t.Extern)
+		if *opt {
+			diags = append(diags, analysis.LintOpt(t.Mod)...)
+		}
 		total += len(diags)
 		for _, d := range diags {
 			if *jsonOut {

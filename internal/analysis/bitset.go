@@ -2,15 +2,21 @@
 // internal/ir — a worklist solver on the CFG's reverse postorder with
 // per-instruction transfer functions and bit-vector lattices — plus the
 // concrete analyses built on it (reaching definitions, liveness,
-// definite assignment, guard/allocation availability, and a
-// flow-insensitive may-alias/escape partition) and a memory-safety
-// linter that reports use-before-def, dead stores, use-after-free,
-// double-free, and leaked allocations as structured diagnostics.
+// definite assignment, available copies, guard/allocation availability,
+// and a flow-insensitive may-alias/escape partition), structural
+// analyses (an explicit dominator tree and a loop nest with hoisting
+// candidates), an interprocedural purity/effect summary over the call
+// graph, and a memory-safety linter that reports use-before-def, dead
+// stores, use-after-free, double-free, and leaked allocations as
+// structured diagnostics.
 //
 // The framework is the compiler side of the paper's interweaving
 // argument (§IV-A): what CARAT's runtime would check dynamically, the
-// compiler proves statically — and what it can prove, the CARATElim
-// pass in internal/passes deletes.
+// compiler proves statically — and what it can prove, the passes in
+// internal/passes delete (CARATElim, GlobalDCE), rewrite (CopyCoalesce)
+// or move (LICM). LintOpt reports the same facts as optimizer-
+// opportunity diagnostics so analysis and transformation stay in
+// lockstep: everything it flags, the standard pipeline removes.
 package analysis
 
 import "math/bits"

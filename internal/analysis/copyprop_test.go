@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestAvailCopiesTransfer: gen on a mov, kill on redefinition of either
+// side.
+func TestAvailCopiesTransfer(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	src := b.Param(0)
+	cp := b.Mov(src)         // instr 0, copy 0: cp <- src
+	alias := b.Mov(cp)       // instr 1, copy 1: alias <- cp
+	b.MovTo(src, b.Const(9)) // instrs 2-3; the mov redefines src, killing copy 0
+	b.Ret(alias)             // instr 4
+
+	info := ir.AnalyzeCFG(f)
+	ac := NewAvailCopies(f)
+	if len(ac.Copies) != 3 { // cp<-src, alias<-cp, src<-const
+		t.Fatalf("found %d copies, want 3", len(ac.Copies))
+	}
+	res := Solve(info, ac)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+
+	entry := f.Blocks[0]
+	var afterChain, afterKill *BitSet
+	res.Replay(entry, func(idx int, in *ir.Instr, facts *BitSet) {
+		// facts are the IN of each instruction (forward replay).
+		switch idx {
+		case 3: // just before the redefinition of src
+			afterChain = facts.Copy()
+		case 4: // the ret, after the kill
+			afterKill = facts.Copy()
+		}
+	})
+	if afterChain == nil || afterKill == nil {
+		t.Fatal("replay missed instructions")
+	}
+	// After both movs: cp<-src and alias<-cp available; chains resolve
+	// to src.
+	if got := ac.Resolve(alias, afterChain); got != src {
+		t.Fatalf("Resolve(alias) = r%d, want r%d (src)", got, src)
+	}
+	if s, ok := ac.SourceOf(cp, afterChain); !ok || s != src {
+		t.Fatal("SourceOf(cp) wrong before the kill")
+	}
+	// After src is redefined: cp<-src is dead, alias<-cp survives.
+	if _, ok := ac.SourceOf(cp, afterKill); ok {
+		t.Fatal("copy of redefined source still available")
+	}
+	if got := ac.Resolve(alias, afterKill); got != cp {
+		t.Fatalf("Resolve(alias) after kill = r%d, want r%d (cp)", got, cp)
+	}
+}
+
+// TestAvailCopiesMeet: a copy must be available on every path to count
+// at a join.
+func TestAvailCopiesMeet(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 2)
+	b := ir.NewBuilder(f)
+	then := b.Block("then")
+	els := b.Block("else")
+	join := b.Block("join")
+
+	src := b.Param(0)
+	both := b.Mov(src) // available on both paths
+	b.Br(b.Param(1), then, els)
+
+	b.SetBlock(then)
+	oneArm := b.Mov(src) // defined (as a copy) only on this path
+	b.Jmp(join)
+
+	b.SetBlock(els)
+	b.MovTo(oneArm, b.Const(5)) // same register, not a tracked copy source
+	b.Jmp(join)
+
+	b.SetBlock(join)
+	b.Ret(b.Add(both, oneArm))
+
+	info := ir.AnalyzeCFG(f)
+	ac := NewAvailCopies(f)
+	res := Solve(info, ac)
+	in := res.In[join]
+	if s, ok := ac.SourceOf(both, in); !ok || s != src {
+		t.Fatal("copy available on both paths lost at the join")
+	}
+	if _, ok := ac.SourceOf(oneArm, in); ok {
+		t.Fatal("one-armed copy available at the join")
+	}
+}
+
+// TestRedundantCopies: a re-mov of an already-held value is redundant;
+// chain-equal movs are too.
+func TestRedundantCopies(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	src := b.Param(0)
+	cp := b.Mov(src)    // instr 0: not redundant (first copy)
+	b.MovTo(cp, src)    // instr 1: redundant, cp already equals src
+	alias := b.Mov(cp)  // instr 2: not redundant (new register)
+	b.MovTo(alias, src) // instr 3: redundant via chain, alias == cp == src
+	b.Ret(alias)
+
+	got := RedundantCopies(f, ir.AnalyzeCFG(f))
+	if len(got) != 2 {
+		t.Fatalf("found %d redundant copies, want 2: %+v", len(got), got)
+	}
+	for _, c := range got {
+		if c.Idx != 1 && c.Idx != 3 {
+			t.Fatalf("wrong instruction flagged: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import "repro/internal/ir"
+
+// DomTree materializes the dominator relation of a CFG as an explicit
+// tree over ir.CFGInfo's immediate dominators: children lists in
+// deterministic (RPO) order, plus pre/post DFS numbering so Dominates
+// answers in O(1) instead of walking idom chains. The optimizer passes
+// (GlobalDCE, LICM) and the loop nest build on it.
+type DomTree struct {
+	Info *ir.CFGInfo
+
+	children map[*ir.Block][]*ir.Block
+	// pre/post are DFS interval numbers over the dominator tree:
+	// a dominates b iff pre[a] <= pre[b] && post[b] <= post[a].
+	pre, post map[*ir.Block]int
+	depth     map[*ir.Block]int
+}
+
+// NewDomTree builds the dominator tree for an analyzed CFG.
+func NewDomTree(info *ir.CFGInfo) *DomTree {
+	t := &DomTree{
+		Info:     info,
+		children: make(map[*ir.Block][]*ir.Block),
+		pre:      make(map[*ir.Block]int),
+		post:     make(map[*ir.Block]int),
+		depth:    make(map[*ir.Block]int),
+	}
+	if len(info.RPO) == 0 {
+		return t
+	}
+	root := info.RPO[0]
+	// Children in RPO order: a parent always precedes its children in
+	// RPO, so the tree below is well-formed and deterministically
+	// ordered.
+	for _, b := range info.RPO[1:] {
+		id := info.IDom[b]
+		if id == nil {
+			continue
+		}
+		t.children[id] = append(t.children[id], b)
+	}
+	// Iterative DFS for the interval numbering.
+	clock := 0
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	stack := []frame{{b: root}}
+	t.pre[root] = clock
+	clock++
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		kids := t.children[top.b]
+		if top.next < len(kids) {
+			c := kids[top.next]
+			top.next++
+			t.pre[c] = clock
+			clock++
+			t.depth[c] = t.depth[top.b] + 1
+			stack = append(stack, frame{b: c})
+			continue
+		}
+		t.post[top.b] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+	return t
+}
+
+// Root returns the tree root (the function entry), or nil for an empty
+// CFG.
+func (t *DomTree) Root() *ir.Block {
+	if len(t.Info.RPO) == 0 {
+		return nil
+	}
+	return t.Info.RPO[0]
+}
+
+// IDom returns b's immediate dominator, or nil for the root and for
+// unreachable blocks.
+func (t *DomTree) IDom(b *ir.Block) *ir.Block {
+	id := t.Info.IDom[b]
+	if id == b {
+		return nil // root
+	}
+	return id
+}
+
+// Children returns b's dominator-tree children in RPO order. The slice
+// is shared; callers must not mutate it.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b] }
+
+// Dominates reports whether a dominates b (reflexively), in O(1) via
+// the DFS interval test. Unreachable blocks dominate nothing and are
+// dominated by nothing.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	pa, oka := t.pre[a]
+	pb, okb := t.pre[b]
+	if !oka || !okb {
+		return false
+	}
+	return pa <= pb && t.post[b] <= t.post[a]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Depth returns b's depth in the tree (root is 0); unreachable blocks
+// report -1.
+func (t *DomTree) Depth(b *ir.Block) int {
+	if _, ok := t.pre[b]; !ok {
+		return -1
+	}
+	return t.depth[b]
+}
+
+// Walk visits the tree in preorder (each block before the blocks it
+// strictly dominates), in deterministic order.
+func (t *DomTree) Walk(visit func(b *ir.Block)) {
+	root := t.Root()
+	if root == nil {
+		return
+	}
+	stack := []*ir.Block{root}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(b)
+		kids := t.children[b]
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+}

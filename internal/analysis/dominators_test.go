@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// diamondFn builds entry -> (then | else) -> join; ret.
+func diamondFn() (*ir.Function, map[string]*ir.Block) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	then := b.Block("then")
+	els := b.Block("else")
+	join := b.Block("join")
+	b.Br(b.Param(0), then, els)
+	b.SetBlock(then)
+	v1 := b.Const(1)
+	b.Jmp(join)
+	b.SetBlock(els)
+	b.Const(2)
+	b.Jmp(join)
+	b.SetBlock(join)
+	b.Ret(v1)
+	return f, map[string]*ir.Block{
+		"entry": f.Blocks[0], "then": then, "else": els, "join": join,
+	}
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f, bs := diamondFn()
+	dom := NewDomTree(ir.AnalyzeCFG(f))
+
+	if dom.Root() != bs["entry"] {
+		t.Fatal("root is not entry")
+	}
+	for _, name := range []string{"then", "else", "join"} {
+		if dom.IDom(bs[name]) != bs["entry"] {
+			t.Fatalf("idom(%s) != entry", name)
+		}
+	}
+	if dom.IDom(bs["entry"]) != nil {
+		t.Fatal("entry has an idom")
+	}
+	// Neither branch arm dominates the join.
+	if dom.Dominates(bs["then"], bs["join"]) || dom.Dominates(bs["else"], bs["join"]) {
+		t.Fatal("branch arm dominates join")
+	}
+	if !dom.Dominates(bs["entry"], bs["join"]) || !dom.Dominates(bs["join"], bs["join"]) {
+		t.Fatal("entry/self domination wrong")
+	}
+	if dom.StrictlyDominates(bs["join"], bs["join"]) {
+		t.Fatal("strict domination is reflexive")
+	}
+	if got := dom.Depth(bs["join"]); got != 1 {
+		t.Fatalf("depth(join) = %d, want 1", got)
+	}
+	if kids := dom.Children(bs["entry"]); len(kids) != 3 {
+		t.Fatalf("entry has %d dom children, want 3", len(kids))
+	}
+	// Preorder walk visits every reachable block exactly once, parent
+	// before child.
+	seen := make(map[*ir.Block]bool)
+	dom.Walk(func(b *ir.Block) {
+		if id := dom.IDom(b); id != nil && !seen[id] {
+			t.Fatalf("walk visited %s before its idom", b.Name)
+		}
+		seen[b] = true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("walk saw %d blocks, want 4", len(seen))
+	}
+}
+
+// nestedLoopFn builds a two-deep loop nest using the builder's counting
+// loops and returns the function.
+func nestedLoopFn() *ir.Function {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	sum := b.Const(0)
+	b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+		b.CountingLoop(0, 3, 1, func(j ir.Reg) {
+			b.MovTo(sum, b.Add(sum, b.Add(i, j)))
+		})
+	})
+	b.Ret(sum)
+	return f
+}
+
+func TestLoopNestNested(t *testing.T) {
+	f := nestedLoopFn()
+	info := ir.AnalyzeCFG(f)
+	dom := NewDomTree(info)
+	ln := AnalyzeLoops(info, dom)
+
+	if len(ln.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(ln.Loops))
+	}
+	inner, outer := ln.Loops[0], ln.Loops[1]
+	if inner.Depth <= outer.Depth {
+		t.Fatal("loops not ordered innermost-first")
+	}
+	if inner.Parent != outer.Loop {
+		t.Fatal("inner loop's parent is not the outer loop")
+	}
+	if !outer.Blocks[inner.Header] {
+		t.Fatal("outer loop body does not contain inner header")
+	}
+	if ln.ByHeader(inner.Header) != inner || ln.ByHeader(outer.Header) != outer {
+		t.Fatal("ByHeader lookup wrong")
+	}
+	if got := ln.InnermostOf(inner.Header); got != inner {
+		t.Fatal("InnermostOf(inner header) is not the inner loop")
+	}
+	if got := ln.InnermostOf(outer.Header); got != outer {
+		t.Fatal("InnermostOf(outer header) is not the outer loop")
+	}
+	// The loop headers dominate their bodies.
+	for _, l := range ln.Loops {
+		for _, blk := range l.Body {
+			if !dom.Dominates(l.Header, blk) {
+				t.Fatalf("header %s does not dominate body block %s", l.Header.Name, blk.Name)
+			}
+		}
+	}
+	// Exits are outside the loop.
+	for _, l := range ln.Loops {
+		if len(l.Exits) == 0 {
+			t.Fatalf("loop %s has no exits", l.Header.Name)
+		}
+		for _, e := range l.Exits {
+			if l.Blocks[e] {
+				t.Fatalf("exit %s is inside the loop", e.Name)
+			}
+		}
+	}
+}
+
+// multiLatchFn builds one loop with two distinct back edges:
+//
+//	entry -> head; head -> (bodyA | exit); bodyA -> (head | bodyB);
+//	bodyB -> head
+func multiLatchFn() (*ir.Function, *ir.Block) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 2)
+	b := ir.NewBuilder(f)
+	head := b.Block("head")
+	bodyA := b.Block("bodyA")
+	bodyB := b.Block("bodyB")
+	exit := b.Block("exit")
+	b.Jmp(head)
+	b.SetBlock(head)
+	b.Br(b.Param(0), bodyA, exit)
+	b.SetBlock(bodyA)
+	b.Br(b.Param(1), head, bodyB)
+	b.SetBlock(bodyB)
+	b.Jmp(head)
+	b.SetBlock(exit)
+	b.Ret(ir.NoReg)
+	return f, head
+}
+
+func TestLoopNestMultiLatch(t *testing.T) {
+	f, head := multiLatchFn()
+	info := ir.AnalyzeCFG(f)
+	ln := AnalyzeLoops(info, NewDomTree(info))
+	if len(ln.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1 (merged latches)", len(ln.Loops))
+	}
+	l := ln.Loops[0]
+	if l.Header != head {
+		t.Fatal("wrong header")
+	}
+	if len(l.Latches) != 2 {
+		t.Fatalf("loop has %d latches, want 2", len(l.Latches))
+	}
+	if len(l.Body) != 3 { // head, bodyA, bodyB
+		t.Fatalf("loop body has %d blocks, want 3", len(l.Body))
+	}
+}
+
+// TestLoopNestIrreducibleEntry: a cycle entered at two points has no
+// dominating header, so natural-loop detection must report no loop
+// rather than a wrong one.
+func TestLoopNestIrreducibleEntry(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 2)
+	b := ir.NewBuilder(f)
+	x := b.Block("x")
+	y := b.Block("y")
+	exit := b.Block("exit")
+	b.Br(b.Param(0), x, y) // two entries into the x<->y cycle
+	b.SetBlock(x)
+	b.Br(b.Param(1), y, exit)
+	b.SetBlock(y)
+	b.Br(b.Param(1), x, exit)
+	b.SetBlock(exit)
+	b.Ret(ir.NoReg)
+
+	info := ir.AnalyzeCFG(f)
+	if len(info.Loops) != 0 {
+		t.Fatalf("irreducible cycle reported as %d natural loops", len(info.Loops))
+	}
+	dom := NewDomTree(info)
+	// Neither cycle block dominates the other.
+	if dom.Dominates(x, y) || dom.Dominates(y, x) {
+		t.Fatal("cycle blocks dominate each other")
+	}
+	if dom.IDom(x) != f.Blocks[0] || dom.IDom(y) != f.Blocks[0] {
+		t.Fatal("cycle blocks' idom is not the entry")
+	}
+}
+
+// TestDomTreeUnreachable: blocks severed from the entry dominate
+// nothing, are dominated by nothing, and report depth -1.
+func TestDomTreeUnreachable(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	dead := b.Block("dead")
+	b.Ret(ir.NoReg)
+	b.SetBlock(dead)
+	b.Ret(ir.NoReg)
+
+	dom := NewDomTree(ir.AnalyzeCFG(f))
+	entry := f.Blocks[0]
+	if dom.Dominates(entry, dead) || dom.Dominates(dead, entry) || dom.Dominates(dead, dead) {
+		t.Fatal("unreachable block participates in domination")
+	}
+	if dom.Depth(dead) != -1 {
+		t.Fatal("unreachable block has a depth")
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Optimizer-opportunity diagnostic kinds. Unlike the memory-safety
+// kinds these do not indicate bugs — they flag work the standard
+// optimization pipeline (passes.Optimize) would remove, and the
+// lockstep guarantee is that a module that has been through the
+// pipeline reports none of them.
+const (
+	// KindRedundantCopy: a mov whose two sides already provably hold
+	// the same value (deleted by CopyCoalesce).
+	KindRedundantCopy Kind = "redundant-copy"
+	// KindLoopInvariant: a speculatable instruction recomputing the
+	// same loop-invariant value on every iteration (hoisted by LICM).
+	KindLoopInvariant Kind = "loop-invariant-recompute"
+	// KindPartialDeadStore: a side-effect-free register write that is
+	// dead at its own program point — every path overwrites or drops
+	// the value before reading it — even when the register is read
+	// elsewhere, which is exactly the delta a liveness-based DCE
+	// (GlobalDCE) removes and the old syntactic sweep could not see.
+	KindPartialDeadStore Kind = "partially-dead-store"
+)
+
+// LintOpt runs the optimizer-opportunity linter over every function of
+// m. The diagnostics are derived from the same analyses the optimizer
+// passes consume (available copies, the loop nest + liveness hoisting
+// candidates, liveness), so the set is empty exactly when the standard
+// pipeline has nothing left to do.
+func LintOpt(m *ir.Module) []Diag {
+	var out []Diag
+	for _, f := range m.Functions() {
+		for _, d := range LintOptFunc(f) {
+			d.Module = m.Name
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LintOptFunc reports the optimization opportunities in one
+// (Verify-valid) function.
+func LintOptFunc(f *ir.Function) []Diag {
+	var out []Diag
+	info := ir.AnalyzeCFG(f)
+
+	for _, c := range RedundantCopies(f, info) {
+		out = append(out, Diag{Fn: f.Name, Block: c.Block.Name, Instr: c.Idx,
+			Kind: KindRedundantCopy,
+			Msg:  fmt.Sprintf("v%d already holds the value of v%d; this copy is a no-op", c.Dst, c.Src)})
+	}
+
+	dom := NewDomTree(info)
+	ln := AnalyzeLoops(info, dom)
+	live := Solve(info, NewLiveness(f))
+	for _, c := range ln.HoistCandidates(live) {
+		out = append(out, Diag{Fn: f.Name, Block: c.Block.Name, Instr: c.Idx,
+			Kind: KindLoopInvariant,
+			Msg: fmt.Sprintf("%s recomputes a loop-invariant value every iteration of loop %q; hoistable to the preheader",
+				c.In.Op, c.Loop.Header.Name)})
+	}
+
+	// Dead side-effect-free writes: the value is overwritten or dropped
+	// on every path before any read.
+	usedSomewhere := make(map[ir.Reg]bool)
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
+				usedSomewhere[u] = true
+			}
+		}
+	}
+	for _, b := range info.RPO {
+		live.Replay(b, func(idx int, in *ir.Instr, after *BitSet) {
+			if !SideEffectFree(in.Op) {
+				return
+			}
+			d := in.Defs()
+			if d == ir.NoReg || after.Has(int(d)) {
+				return
+			}
+			msg := fmt.Sprintf("value of v%d is never read", d)
+			if usedSomewhere[d] {
+				msg = fmt.Sprintf("store to v%d is dead here: every path overwrites it before the reads elsewhere", d)
+			}
+			out = append(out, Diag{Fn: f.Name, Block: b.Name, Instr: idx,
+				Kind: KindPartialDeadStore, Msg: msg})
+		})
+	}
+	sortDiags(out)
+	return out
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// LoopInfo augments one of the CFG's natural loops with the derived
+// facts the optimizer needs: a deterministic body order, the exit
+// blocks, and per-register definition counts inside the loop (the basis
+// of the loop-invariance test).
+type LoopInfo struct {
+	*ir.Loop
+	// Body is the loop's blocks (header included) in RPO order.
+	Body []*ir.Block
+	// Exits are the blocks outside the loop that a loop block branches
+	// to, in deterministic (source-RPO, successor) order, deduplicated.
+	Exits []*ir.Block
+	// DefCount is the number of instructions inside the loop that
+	// define each register; registers absent from the map are invariant
+	// across iterations.
+	DefCount map[ir.Reg]int
+}
+
+// Invariant reports whether r's value cannot change while the loop
+// runs: no instruction in the body defines it.
+func (l *LoopInfo) Invariant(r ir.Reg) bool { return l.DefCount[r] == 0 }
+
+// LoopNest ties the natural loops of one function together with its
+// dominator tree and orders them for transformation.
+type LoopNest struct {
+	Info *ir.CFGInfo
+	Dom  *DomTree
+	// Loops holds every natural loop, innermost-first (deepest nesting
+	// depth first; ties broken by header RPO position), which is the
+	// order hoisting wants: code moved out of an inner loop lands in
+	// the enclosing loop's body where a later pass round can move it
+	// further.
+	Loops []*LoopInfo
+
+	byHeader map[*ir.Block]*LoopInfo
+	rpoIndex map[*ir.Block]int
+}
+
+// AnalyzeLoops builds the loop nest for an analyzed CFG.
+func AnalyzeLoops(info *ir.CFGInfo, dom *DomTree) *LoopNest {
+	ln := &LoopNest{
+		Info:     info,
+		Dom:      dom,
+		byHeader: make(map[*ir.Block]*LoopInfo),
+		rpoIndex: make(map[*ir.Block]int, len(info.RPO)),
+	}
+	for i, b := range info.RPO {
+		ln.rpoIndex[b] = i
+	}
+	for _, l := range info.Loops {
+		li := &LoopInfo{Loop: l, DefCount: make(map[ir.Reg]int)}
+		for _, b := range info.RPO {
+			if !l.Blocks[b] {
+				continue
+			}
+			li.Body = append(li.Body, b)
+			for _, in := range b.Instrs {
+				if d := in.Defs(); d != ir.NoReg {
+					li.DefCount[d]++
+				}
+			}
+		}
+		seen := make(map[*ir.Block]bool)
+		for _, b := range li.Body {
+			for _, s := range b.Succs() {
+				if !l.Blocks[s] && !seen[s] {
+					seen[s] = true
+					li.Exits = append(li.Exits, s)
+				}
+			}
+		}
+		ln.Loops = append(ln.Loops, li)
+		ln.byHeader[l.Header] = li
+	}
+	sort.SliceStable(ln.Loops, func(i, j int) bool {
+		if ln.Loops[i].Depth != ln.Loops[j].Depth {
+			return ln.Loops[i].Depth > ln.Loops[j].Depth
+		}
+		return ln.rpoIndex[ln.Loops[i].Header] < ln.rpoIndex[ln.Loops[j].Header]
+	})
+	return ln
+}
+
+// ByHeader returns the loop headed by b, or nil.
+func (ln *LoopNest) ByHeader(b *ir.Block) *LoopInfo { return ln.byHeader[b] }
+
+// InnermostOf returns the innermost loop containing b, or nil.
+func (ln *LoopNest) InnermostOf(b *ir.Block) *LoopInfo {
+	var best *LoopInfo
+	for _, l := range ln.Loops {
+		if l.Blocks[b] && (best == nil || l.Depth > best.Depth) {
+			best = l
+		}
+	}
+	return best
+}
+
+// HoistCandidate is one instruction LICM can move to its loop's
+// preheader without changing any observable result.
+type HoistCandidate struct {
+	Loop  *LoopInfo
+	Block *ir.Block
+	Idx   int
+	In    *ir.Instr
+}
+
+// HoistCandidates returns the instructions that are provably safe to
+// hoist out of their innermost loop, in deterministic (loop, body-RPO,
+// index) order. live must be a solved Liveness result for the same CFG.
+//
+// An instruction qualifies when all of the following hold:
+//
+//   - its opcode is speculatable: side-effect free and unable to fault,
+//     so executing it on the zero-trip path (where the loop body never
+//     runs) is unobservable except through its destination;
+//   - every operand is loop-invariant (no definition inside the loop),
+//     so the value it computes is the same on every iteration;
+//   - its destination has exactly one definition inside the loop (this
+//     instruction), so no other in-loop write races the hoisted value;
+//   - its destination is not live into the loop header, so overwriting
+//     it before the first iteration — including when the loop body
+//     never executes, or exits before reaching the instruction —
+//     cannot clobber a value some path still reads. (Liveness at the
+//     header covers every such path: if any use were reachable from
+//     the header without an intervening definition, the register would
+//     be live there.)
+//
+// Together these make the hoisted instruction produce exactly the value
+// every in-loop execution would have produced, and make the extra
+// execution on loop-free paths invisible.
+func (ln *LoopNest) HoistCandidates(live *Result) []HoistCandidate {
+	var out []HoistCandidate
+	var buf []ir.Reg
+	for _, l := range ln.Loops {
+		for _, b := range l.Body {
+			if ln.InnermostOf(b) != l {
+				continue // handled as part of the inner loop
+			}
+			headerIn := live.In[l.Header]
+			if headerIn == nil {
+				continue
+			}
+			for idx, in := range b.Instrs {
+				if !Speculatable(in.Op) {
+					continue
+				}
+				d := in.Defs()
+				if d == ir.NoReg || l.DefCount[d] != 1 {
+					continue
+				}
+				if headerIn.Has(int(d)) {
+					continue
+				}
+				invariant := true
+				buf = in.Uses(buf[:0])
+				for _, u := range buf {
+					if !l.Invariant(u) {
+						invariant = false
+						break
+					}
+				}
+				if invariant {
+					out = append(out, HoistCandidate{Loop: l, Block: b, Idx: idx, In: in})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// purityModule builds a module covering the summary lattice:
+//
+//	alu        — pure, bounded, cannot fault
+//	divides    — pure but may fault (div)
+//	stores     — impure (heap write), bounded
+//	allocs     — impure, may fault (alloc + free)
+//	wraps      — calls alu (transitively pure/bounded)
+//	wrapsbad   — calls stores (transitively impure)
+//	loops      — pure but unbounded (contains a loop)
+//	selfrec    — pure self-recursion: stays pure, never bounded
+//	extern     — calls an undefined function
+func purityModule() *ir.Module {
+	m := ir.NewModule("t")
+
+	alu := m.NewFunction("alu", 2)
+	b := ir.NewBuilder(alu)
+	b.Ret(b.Add(b.Param(0), b.Param(1)))
+
+	div := m.NewFunction("divides", 2)
+	b = ir.NewBuilder(div)
+	b.Ret(b.Div(b.Param(0), b.Param(1)))
+
+	st := m.NewFunction("stores", 1)
+	b = ir.NewBuilder(st)
+	b.Store(b.Param(0), 0, b.Const(1))
+	b.Ret(ir.NoReg)
+
+	al := m.NewFunction("allocs", 0)
+	b = ir.NewBuilder(al)
+	buf := b.Alloc(8)
+	b.Free(buf)
+	b.Ret(ir.NoReg)
+
+	w := m.NewFunction("wraps", 2)
+	b = ir.NewBuilder(w)
+	b.Ret(b.Call("alu", b.Param(0), b.Param(1)))
+
+	wb := m.NewFunction("wrapsbad", 1)
+	b = ir.NewBuilder(wb)
+	b.Ret(b.Call("stores", b.Param(0)))
+
+	lp := m.NewFunction("loops", 0)
+	b = ir.NewBuilder(lp)
+	s := b.Const(0)
+	b.CountingLoop(0, 4, 1, func(i ir.Reg) { b.MovTo(s, b.Add(s, i)) })
+	b.Ret(s)
+
+	sr := m.NewFunction("selfrec", 1)
+	b = ir.NewBuilder(sr)
+	b.Ret(b.Call("selfrec", b.Param(0)))
+
+	ex := m.NewFunction("extern", 0)
+	b = ir.NewBuilder(ex)
+	b.Ret(b.Call("undefined_thing"))
+
+	return m
+}
+
+func TestAnalyzePurity(t *testing.T) {
+	p := AnalyzePurity(purityModule())
+	cases := []struct {
+		fn                      string
+		pure, mayFault, bounded bool
+		dceSafe                 bool
+	}{
+		{"alu", true, false, true, true},
+		{"divides", true, true, true, false},
+		{"stores", false, false, true, false},
+		{"allocs", false, true, true, false},
+		{"wraps", true, false, true, true},
+		{"wrapsbad", false, false, true, false},
+		{"loops", true, false, false, false},
+		{"selfrec", true, false, false, false},
+		{"extern", false, true, false, false},
+	}
+	for _, c := range cases {
+		s := p.Summary(c.fn)
+		if s.Pure != c.pure || s.MayFault != c.mayFault || s.Bounded != c.bounded {
+			t.Errorf("%s: got pure=%v fault=%v bounded=%v, want %v/%v/%v",
+				c.fn, s.Pure, s.MayFault, s.Bounded, c.pure, c.mayFault, c.bounded)
+		}
+		if s.DCESafe() != c.dceSafe {
+			t.Errorf("%s: DCESafe = %v, want %v", c.fn, s.DCESafe(), c.dceSafe)
+		}
+	}
+	// Detail bits.
+	if s := p.Summary("stores"); !s.WritesHeap || s.ReadsHeap || s.Allocates {
+		t.Error("stores detail bits wrong")
+	}
+	if s := p.Summary("allocs"); !s.Allocates || !s.WritesHeap {
+		t.Error("allocs detail bits wrong")
+	}
+	if s := p.Summary("wrapsbad"); !s.WritesHeap {
+		t.Error("heap write did not propagate through the call graph")
+	}
+	if s := p.Summary("extern"); !s.CallsExtern {
+		t.Error("extern call not recorded")
+	}
+	// Unknown names are fully conservative.
+	if s := p.Summary("nonexistent"); s.Pure || !s.MayFault || s.Bounded || s.DCESafe() {
+		t.Error("unknown function summary not conservative")
+	}
+}
+
+// TestAnalyzePurityMutualRecursion: mutual recursion of pure ALU
+// functions stays pure (optimistic fixpoint) but is never bounded
+// (pessimistic fixpoint) — so it is not DCE-safe.
+func TestAnalyzePurityMutualRecursion(t *testing.T) {
+	m := ir.NewModule("t")
+	even := m.NewFunction("even", 1)
+	b := ir.NewBuilder(even)
+	b.Ret(b.Call("odd", b.Sub(b.Param(0), b.Const(1))))
+	odd := m.NewFunction("odd", 1)
+	b = ir.NewBuilder(odd)
+	b.Ret(b.Call("even", b.Sub(b.Param(0), b.Const(1))))
+
+	p := AnalyzePurity(m)
+	for _, fn := range []string{"even", "odd"} {
+		s := p.Summary(fn)
+		if !s.Pure || s.MayFault {
+			t.Errorf("%s: mutual ALU recursion lost purity: %+v", fn, s)
+		}
+		if s.Bounded || s.DCESafe() {
+			t.Errorf("%s: call cycle proven bounded", fn)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package detvet is a determinism vet for the repository's own Go
+// sources. The simulator's results must be reproducible from a seed
+// alone (ROADMAP: determinism is the contract every layer tests
+// against), so the packages that compute simulated time, machine state,
+// or experiment tables must not consult wall-clock time, the global
+// math/rand generator, or Go's randomized map iteration order.
+//
+// It is deliberately stdlib-only (go/ast + go/parser + a lenient
+// go/types pass): the build environment has no module proxy, so
+// golang.org/x/tools/go/analysis is unavailable. The trade-off is that
+// map detection is best-effort — expressions whose types cannot be
+// inferred without imported type information are skipped rather than
+// guessed at.
+//
+// Rules:
+//
+//   - time-now: calls to time.Now, time.Since, or time.Until (the
+//     latter two read the wall clock internally).
+//   - global-rand: calls through the math/rand package's global
+//     generator (rand.Intn, rand.Seed, ...). Constructing a private
+//     seeded source via rand.New/rand.NewSource is fine.
+//   - range-over-map: a range statement over a value of map type;
+//     iteration order is randomized per run.
+//
+// A finding is suppressed by a "detvet:ok" comment on the same line,
+// for sites that are deliberately order-insensitive or outside the
+// deterministic core (e.g. wall-clock progress reporting).
+package detvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one determinism hazard.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// CheckDirs vets every non-test Go file in each directory (not
+// recursively) and returns the combined findings, ordered by position.
+func CheckDirs(dirs ...string) ([]Finding, error) {
+	var all []Finding
+	for _, dir := range dirs {
+		fs, err := CheckDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}
+
+// CheckDir vets the non-test Go files of one directory.
+func CheckDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("detvet: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		var names []string
+		for name := range pkg.Files { // detvet:ok — sorted below
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			files = append(files, pkg.Files[name])
+		}
+	}
+	return checkFiles(fset, files), nil
+}
+
+// CheckSource vets a single in-memory file; src takes anything
+// parser.ParseFile accepts (string, []byte, io.Reader).
+func CheckSource(filename string, src any) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return checkFiles(fset, []*ast.File{f}), nil
+}
+
+// stubImporter satisfies every import with an empty package, so the
+// type checker can still infer the types of locally-declared values.
+// Anything flowing through an import comes out untyped and is skipped
+// by the map rule — lenient by construction.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+func checkFiles(fset *token.FileSet, files []*ast.File) []Finding {
+	if len(files) == 0 {
+		return nil
+	}
+	// Lenient type pass: swallow every error (stub imports guarantee
+	// plenty), keep whatever expression types could be inferred.
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{Error: func(error) {}, Importer: stubImporter{}}
+	conf.Check(files[0].Name.Name, fset, files, info) // detvet is best-effort; error ignored
+
+	var out []Finding
+	for _, f := range files {
+		ok := suppressedLines(fset, f)
+		imp := importNames(f)
+		report := func(pos token.Pos, rule, msg string) {
+			p := fset.Position(pos)
+			if ok[p.Line] {
+				return
+			}
+			out = append(out, Finding{Pos: p, Rule: rule, Msg: msg})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(n, imp, report)
+			case *ast.RangeStmt:
+				if tv, found := info.Types[n.X]; found {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(n.Range, "range-over-map",
+							"map iteration order is randomized; iterate sorted keys or suppress with detvet:ok")
+					}
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// randConstructors are the math/rand entry points that build a private
+// generator instead of touching the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// wallClockFns are the time package functions that read the wall clock.
+var wallClockFns = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func checkCall(call *ast.CallExpr, imp map[string]string, report func(token.Pos, string, string)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil { // Obj != nil means a local binding shadows the package name
+		return
+	}
+	switch imp[id.Name] {
+	case "time":
+		if wallClockFns[sel.Sel.Name] {
+			report(call.Pos(), "time-now",
+				fmt.Sprintf("time.%s reads the wall clock; derive time from the simulated clock or suppress with detvet:ok", sel.Sel.Name))
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			report(call.Pos(), "global-rand",
+				fmt.Sprintf("rand.%s uses the shared global generator; use a seeded rand.New(rand.NewSource(...)) instead", sel.Sel.Name))
+		}
+	}
+}
+
+// importNames maps each file-local package name to its import path.
+func importNames(f *ast.File) map[string]string {
+	m := make(map[string]string)
+	for _, spec := range f.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if spec.Name != nil {
+			name = spec.Name.Name
+			if name == "." || name == "_" {
+				continue // dot/blank imports are out of scope for this vet
+			}
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// suppressedLines collects the lines carrying a detvet:ok marker.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "detvet:ok") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

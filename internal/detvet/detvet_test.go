@@ -1,0 +1,236 @@
+package detvet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// check runs CheckSource and fails the test on parse errors.
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fs, err := CheckSource("src.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestWallClockCalls(t *testing.T) {
+	src := `package p
+import "time"
+func f(t0 time.Time) (time.Time, time.Duration, time.Duration) {
+	return time.Now(), time.Since(t0), time.Until(t0)
+}
+func ok() time.Duration { return 3 * time.Second }
+`
+	fs := check(t, src)
+	if len(fs) != 3 {
+		t.Fatalf("findings = %v, want 3 time-now", fs)
+	}
+	for _, f := range fs {
+		if f.Rule != "time-now" {
+			t.Errorf("rule = %s, want time-now (%s)", f.Rule, f)
+		}
+	}
+	// time.Second is a constant, not a clock read.
+	for _, f := range fs {
+		if f.Pos.Line == 6 {
+			t.Errorf("constant use flagged: %s", f)
+		}
+	}
+}
+
+func TestGlobalRandVsConstructors(t *testing.T) {
+	src := `package p
+import "math/rand"
+func bad() int { rand.Seed(42); return rand.Intn(10) }
+func good() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+`
+	fs := check(t, src)
+	if got := rules(fs); len(got) != 2 || got[0] != "global-rand" || got[1] != "global-rand" {
+		t.Fatalf("findings = %v, want exactly [global-rand global-rand]", fs)
+	}
+	for _, f := range fs {
+		if f.Pos.Line != 3 {
+			t.Errorf("constructor flagged: %s", f)
+		}
+	}
+}
+
+func TestAliasedImport(t *testing.T) {
+	src := `package p
+import (
+	mrand "math/rand"
+	clock "time"
+)
+func f() int64 { return clock.Now().UnixNano() + int64(mrand.Int()) }
+`
+	fs := check(t, src)
+	got := rules(fs)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want time-now and global-rand through aliases", fs)
+	}
+	if !(got[0] == "time-now" && got[1] == "global-rand" || got[0] == "global-rand" && got[1] == "time-now") {
+		t.Fatalf("rules = %v", got)
+	}
+}
+
+func TestShadowedPackageName(t *testing.T) {
+	// A local value named like the package must not trigger.
+	src := `package p
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int {
+	var time clock
+	return time.Now()
+}
+`
+	if fs := check(t, src); len(fs) != 0 {
+		t.Fatalf("shadowed name flagged: %v", fs)
+	}
+}
+
+func TestRangeOverMap(t *testing.T) {
+	src := `package p
+func f(m map[string]int, s []int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	for _, v := range s {
+		sum += v
+	}
+	local := map[int]bool{1: true}
+	for k := range local {
+		sum += k
+	}
+	return sum
+}
+`
+	fs := check(t, src)
+	if got := rules(fs); len(got) != 2 {
+		t.Fatalf("findings = %v, want 2 range-over-map (slice must not count)", fs)
+	}
+	for _, f := range fs {
+		if f.Rule != "range-over-map" {
+			t.Errorf("rule = %s", f.Rule)
+		}
+		if f.Pos.Line == 7 {
+			t.Errorf("slice range flagged: %s", f)
+		}
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	src := `package p
+import "time"
+func f(m map[string]int) int64 {
+	for range m { // detvet:ok -- order-insensitive count
+	}
+	return time.Now().Unix() // detvet:ok -- progress display only
+}
+func g() int64 { return time.Now().Unix() }
+`
+	fs := check(t, src)
+	if len(fs) != 1 || fs[0].Pos.Line != 8 {
+		t.Fatalf("findings = %v, want only the unsuppressed line-8 call", fs)
+	}
+}
+
+func TestUntypedMapSkipped(t *testing.T) {
+	// The type of other.Value() is unknowable with stub imports; the
+	// lenient checker must stay silent rather than guess.
+	src := `package p
+import "example.com/other"
+func f() {
+	for range other.Value() {
+	}
+}
+`
+	if fs := check(t, src); len(fs) != 0 {
+		t.Fatalf("untyped range flagged: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	fs := check(t, "package p\nimport \"time\"\nvar _ = time.Now()\n")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	s := fs[0].String()
+	if !strings.Contains(s, "src.go:3") || !strings.Contains(s, "[time-now]") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCheckDirSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\nimport \"time\"\nvar _ = time.Now()\n")
+	write("b.go", "package p\nfunc b(m map[int]int) {\n\tfor range m {\n\t}\n}\n")
+	write("a_test.go", "package p\nimport \"time\"\nvar _ = time.Now()\n")
+
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want 2 (test file must be skipped)", fs)
+	}
+	// Deterministic output order: a.go before b.go.
+	if !strings.HasSuffix(fs[0].Pos.Filename, "a.go") || !strings.HasSuffix(fs[1].Pos.Filename, "b.go") {
+		t.Fatalf("order = %v", fs)
+	}
+
+	all, err := CheckDirs(dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("CheckDirs = %d findings, want 4", len(all))
+	}
+}
+
+func TestCheckDirMissing(t *testing.T) {
+	if _, err := CheckDirs(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory did not error")
+	}
+}
+
+func TestCheckSourceParseError(t *testing.T) {
+	if _, err := CheckSource("bad.go", "package p\nfunc {"); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+// TestRepoCoreIsClean pins the repo invariant that `make check`
+// enforces: the deterministic core has no findings.
+func TestRepoCoreIsClean(t *testing.T) {
+	for _, dir := range []string{"../sim", "../machine", "../heartbeat", "../exp"} {
+		fs, err := CheckDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}

@@ -86,6 +86,10 @@ func (ip *Interp) execFn(cf *cfunc, args []uint64, depth int) (uint64, error) {
 		return 0, fmt.Errorf("interp: %s wants %d args, got %d", cf.name, cf.numParams, len(args))
 	}
 	regs, mark := ip.acquireFrame(cf.numRegs)
+	ip.Stats.FrameWords += int64(cf.numRegs)
+	if int64(cf.numRegs) > ip.Stats.MaxFrameRegs {
+		ip.Stats.MaxFrameRegs = int64(cf.numRegs)
+	}
 	copy(regs, args)
 	ret, err := ip.exec(cf, regs, depth)
 	ip.regTop = mark

@@ -1,0 +1,55 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestFrameStatsAccounting: FrameWords accumulates NumRegs per call and
+// MaxFrameRegs tracks the widest frame, identically on both engines.
+func TestFrameStatsAccounting(t *testing.T) {
+	m := ir.NewModule("t")
+	wide := m.NewFunction("wide", 1)
+	b := ir.NewBuilder(wide)
+	v := b.Param(0)
+	for i := 0; i < 9; i++ {
+		v = b.Add(v, b.Const(int64(i)))
+	}
+	b.Ret(v)
+	wideRegs := wide.NumRegs
+
+	main := m.NewFunction("main", 0)
+	b = ir.NewBuilder(main)
+	r := b.Call("wide", b.Const(1))
+	r = b.Add(r, b.Call("wide", b.Const(2)))
+	b.Ret(r)
+	mainRegs := main.NumRegs
+
+	wantWords := int64(mainRegs + 2*wideRegs)
+	wantMax := int64(wideRegs)
+	if wideRegs <= mainRegs {
+		t.Fatalf("test setup: wide (%d regs) should out-size main (%d)", wideRegs, mainRegs)
+	}
+
+	for _, engine := range []string{"fast", "reference"} {
+		ip, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engine == "fast" {
+			_, err = ip.Call("main")
+		} else {
+			_, err = ip.ReferenceCall("main")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.Stats.FrameWords != wantWords {
+			t.Errorf("%s: FrameWords = %d, want %d", engine, ip.Stats.FrameWords, wantWords)
+		}
+		if ip.Stats.MaxFrameRegs != wantMax {
+			t.Errorf("%s: MaxFrameRegs = %d, want %d", engine, ip.Stats.MaxFrameRegs, wantMax)
+		}
+	}
+}

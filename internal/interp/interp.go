@@ -133,6 +133,13 @@ type Stats struct {
 	YieldCycles int64
 	PollCycles  int64
 	TrackCycles int64
+	// FrameWords is the total register-frame words acquired across
+	// calls, and MaxFrameRegs the widest single frame — the frame-pool
+	// footprint the CopyCoalesce pass shrinks. Both engines account
+	// them at frame setup, so they stay bit-identical like every other
+	// counter.
+	FrameWords   int64
+	MaxFrameRegs int64
 }
 
 // Interp executes functions of one module against one heap.

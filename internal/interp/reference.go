@@ -33,6 +33,10 @@ func (ip *Interp) refCall(name string, args []uint64, depth int) (uint64, error)
 		return 0, fmt.Errorf("interp: %s wants %d args, got %d", name, f.NumParams, len(args))
 	}
 	regs := make([]uint64, f.NumRegs)
+	ip.Stats.FrameWords += int64(f.NumRegs)
+	if int64(f.NumRegs) > ip.Stats.MaxFrameRegs {
+		ip.Stats.MaxFrameRegs = int64(f.NumRegs)
+	}
 	copy(regs, args)
 
 	blk := f.Entry()

@@ -166,6 +166,44 @@ func (in *Instr) Uses(buf []Reg) []Reg {
 	return buf
 }
 
+// MapUses rewrites every register the instruction reads through fn
+// (mirror of Uses). NoReg fields are left untouched.
+func (in *Instr) MapUses(fn func(Reg) Reg) {
+	mapA := func() {
+		if in.A != NoReg {
+			in.A = fn(in.A)
+		}
+	}
+	mapB := func() {
+		if in.B != NoReg {
+			in.B = fn(in.B)
+		}
+	}
+	switch in.Op {
+	case OpConst, OpFConst, OpJmp:
+	case OpMov, OpLoad, OpAlloc, OpFree, OpGuard, OpTrackFree, OpBr, OpRet:
+		mapA()
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpICmp, OpFCmp,
+		OpStore, OpTrackAlloc, OpTrackEsc:
+		mapA()
+		mapB()
+	case OpCall:
+		for i, r := range in.Args {
+			in.Args[i] = fn(r)
+		}
+	}
+}
+
+// MapRegs rewrites every register field of the instruction — the uses
+// and the destination — through fn.
+func (in *Instr) MapRegs(fn func(Reg) Reg) {
+	in.MapUses(fn)
+	if in.Defs() != NoReg {
+		in.Dst = fn(in.Dst)
+	}
+}
+
 // Block is a basic block: a straight-line instruction sequence ending in
 // a single terminator.
 type Block struct {

@@ -89,11 +89,20 @@ func (c *CARATInject) Run(f *ir.Function) error {
 					c.TracksInserted++
 				}
 			case ir.OpAlloc:
-				out = append(out, in)
 				// A carries the allocated base; the size comes from the
 				// alloc's immediate, or from its size register (B) when
-				// the allocation is dynamically sized.
-				out = append(out, &ir.Instr{Op: ir.OpTrackAlloc, Dst: ir.NoReg, A: in.Dst, B: in.A, Imm: in.Imm})
+				// the allocation is dynamically sized. An alloc may write
+				// its base over its own size register (legal IR — operand
+				// reads precede the dst write; copy coalescing produces
+				// this shape), so snapshot the size first in that case.
+				szReg := in.A
+				if szReg != ir.NoReg && szReg == in.Dst {
+					tmp := f.NewReg()
+					out = append(out, &ir.Instr{Op: ir.OpMov, Dst: tmp, A: szReg, B: ir.NoReg})
+					szReg = tmp
+				}
+				out = append(out, in)
+				out = append(out, &ir.Instr{Op: ir.OpTrackAlloc, Dst: ir.NoReg, A: in.Dst, B: szReg, Imm: in.Imm})
 				c.TracksInserted++
 			case ir.OpFree:
 				out = append(out, &ir.Instr{Op: ir.OpTrackFree, Dst: ir.NoReg, A: in.A, B: ir.NoReg})

@@ -1,0 +1,216 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+// TestCoalesceShrinksKernelFrames: the acceptance bar for the pass —
+// after the standard pipeline, the entry frame (Function.NumRegs, the
+// per-call allocation of both engines) shrinks on most CARAT kernels,
+// with checksums intact.
+func TestCoalesceShrinksKernelFrames(t *testing.T) {
+	shrunk, total := 0, 0
+	for _, k := range workloads.CARATSuite() {
+		total++
+		pristine := k.Build()
+		want := runMain(t, pristine, k.Entry)
+		before := pristine.Funcs[k.Entry].NumRegs
+
+		m := k.Build()
+		cc := &CopyCoalesce{}
+		if err := RunAll(m, &ConstFold{}, &GlobalDCE{Mod: m}, cc); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		after := m.Funcs[k.Entry].NumRegs
+		if after < before {
+			shrunk++
+		}
+		if after > before {
+			t.Errorf("%s: frame grew %d -> %d", k.Name, before, after)
+		}
+		if got := runMain(t, m, k.Entry); got != want {
+			t.Errorf("%s: checksum changed: %d != %d", k.Name, got, want)
+		}
+		t.Logf("%s: frame %d -> %d regs", k.Name, before, after)
+	}
+	if shrunk < 5 {
+		t.Fatalf("frames shrank on only %d/%d kernels, want >= 5", shrunk, total)
+	}
+}
+
+// TestCoalesceRemovesCopyChains: a chain of movs collapses and the
+// frame packs down to the live values.
+func TestCoalesceRemovesCopyChains(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	a := b.Mov(b.Param(0))
+	c := b.Mov(a)
+	d := b.Mov(c)
+	b.Ret(b.Add(d, d))
+
+	want := runMain(t, m, "f", 21)
+
+	cc := &CopyCoalesce{}
+	if err := RunAll(m, cc); err != nil {
+		t.Fatal(err)
+	}
+	if f.CountOp(ir.OpMov) != 0 {
+		t.Fatalf("%d movs survive a pure copy chain", f.CountOp(ir.OpMov))
+	}
+	// param slot + the add result.
+	if f.NumRegs > 2 {
+		t.Fatalf("frame still %d regs, want <= 2", f.NumRegs)
+	}
+	if cc.CopiesRemoved == 0 || cc.RegsSaved == 0 {
+		t.Fatalf("stats not accounted: %+v", cc)
+	}
+	if got := runMain(t, m, "f", 21); got != want {
+		t.Fatalf("semantics changed: %d != %d", got, want)
+	}
+}
+
+// TestCoalesceBranchCopies: copies that are only redundant along one
+// path must survive; values must match on both paths afterward.
+func TestCoalesceBranchCopies(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		then := b.Block("then")
+		els := b.Block("else")
+		join := b.Block("join")
+		x := b.Mov(b.Param(0))
+		b.Br(b.Param(1), then, els)
+		b.SetBlock(then)
+		b.MovTo(x, b.Const(7)) // x diverges from p0 on this path
+		b.Jmp(join)
+		b.SetBlock(els)
+		b.MovTo(x, b.Param(0)) // redundant only on this path
+		b.Jmp(join)
+		b.SetBlock(join)
+		b.Ret(b.Add(x, x))
+		return m
+	}
+
+	m := build()
+	want0 := runMain(t, m, "f", 5, 0)
+	want1 := runMain(t, m, "f", 5, 1)
+
+	m2 := build()
+	if err := RunAll(m2, &CopyCoalesce{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runMain(t, m2, "f", 5, 0); got != want0 {
+		t.Fatalf("else path changed: %d != %d", got, want0)
+	}
+	if got := runMain(t, m2, "f", 5, 1); got != want1 {
+		t.Fatalf("then path changed: %d != %d", got, want1)
+	}
+}
+
+// TestCoalesceUseBeforeDefPinned: a register read before any write is
+// defined to read zero; packing must never let another register share
+// (and clobber) its slot.
+func TestCoalesceUseBeforeDefPinned(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 1)
+		b := ir.NewBuilder(f)
+		then := b.Block("then")
+		join := b.Block("join")
+		// u is written only on the then-path; on the fall-through it is
+		// read before any def and must yield 0.
+		u := f.NewReg()
+		busy := b.Add(b.Param(0), b.Const(3)) // another live value that could share a slot
+		b.Br(b.Param(0), then, join)
+		b.SetBlock(then)
+		b.MovTo(u, b.Const(50))
+		b.Jmp(join)
+		b.SetBlock(join)
+		b.Ret(b.Add(u, busy))
+		return m
+	}
+
+	m := build()
+	wantZero := runMain(t, m, "f", 0) // u reads 0: 0 + (0+3)
+	wantOne := runMain(t, m, "f", 1)  // u = 50: 50 + (1+3)
+	if wantZero != 3 || wantOne != 54 {
+		t.Fatalf("test setup wrong: got %d/%d", wantZero, wantOne)
+	}
+
+	m2 := build()
+	if err := RunAll(m2, &CopyCoalesce{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runMain(t, m2, "f", 0); got != wantZero {
+		t.Fatalf("use-before-def zero clobbered: got %d, want %d", got, wantZero)
+	}
+	if got := runMain(t, m2, "f", 1); got != wantOne {
+		t.Fatalf("defined path changed: got %d, want %d", got, wantOne)
+	}
+}
+
+// TestCoalesceSelfCopies: mov r <- r disappears even with no other
+// copies around.
+func TestCoalesceSelfCopies(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 1)
+	b := ir.NewBuilder(f)
+	v := b.Add(b.Param(0), b.Const(1))
+	b.MovTo(v, v) // explicit self-copy
+	b.Ret(v)
+
+	cc := &CopyCoalesce{}
+	if err := RunAll(m, cc); err != nil {
+		t.Fatal(err)
+	}
+	if f.CountOp(ir.OpMov) != 0 {
+		t.Fatal("self-copy survived")
+	}
+	if got := runMain(t, m, "f", 9); got != 10 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+// TestCoalesceShrinksCompiledFrameStats: the packed NumRegs is what the
+// engines actually allocate — MaxFrameRegs drops accordingly.
+func TestCoalesceShrinksCompiledFrameStats(t *testing.T) {
+	k := workloads.CARATSuite()[0] // stream-triad
+
+	run := func(m *ir.Module) (uint64, interp.Stats) {
+		ip, err := interp.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ip.Call(k.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, ip.Stats
+	}
+
+	pristine := k.Build()
+	wantRet, preStats := run(pristine)
+
+	m := k.Build()
+	if err := RunAll(m, &ConstFold{}, &GlobalDCE{Mod: m}, &CopyCoalesce{}); err != nil {
+		t.Fatal(err)
+	}
+	gotRet, postStats := run(m)
+	if gotRet != wantRet {
+		t.Fatalf("checksum changed: %d != %d", gotRet, wantRet)
+	}
+	if postStats.MaxFrameRegs >= preStats.MaxFrameRegs {
+		t.Fatalf("MaxFrameRegs did not shrink: %d -> %d",
+			preStats.MaxFrameRegs, postStats.MaxFrameRegs)
+	}
+	if postStats.FrameWords >= preStats.FrameWords {
+		t.Fatalf("FrameWords did not shrink: %d -> %d",
+			preStats.FrameWords, postStats.FrameWords)
+	}
+}

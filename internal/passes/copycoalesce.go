@@ -1,0 +1,266 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// CopyCoalesce shrinks compiled frames. It runs three stages, all fed
+// by the analysis layer:
+//
+//  1. Copy propagation: with the available-copies must-analysis
+//     (analysis.AvailCopies) solved over the CFG, every operand is
+//     rewritten to the representative source of its copy chain, and
+//     movs that are provably no-ops at their own program point are
+//     deleted.
+//  2. Dead-copy elimination: movs whose destination is dead (liveness)
+//     are deleted, iterating because removing one copy can kill the
+//     one feeding it.
+//  3. Register coalescing: an interference graph is built from
+//     liveness (a definition interferes with every register live
+//     after it), virtual registers are greedily packed into the
+//     lowest non-conflicting slot, and the function's registers are
+//     renumbered to the packed slots. Function.NumRegs is the frame
+//     size both engines allocate per call, so the packing directly
+//     shrinks the compiled engine's pooled frames; movs whose two
+//     sides landed in the same slot become self-copies and are
+//     deleted.
+//
+// Parameters keep their ABI slots 0..NumParams-1. Registers that are
+// live into the entry block without being parameters are read before
+// any write — the interpreter defines such reads as zero, so they are
+// pinned to private slots nothing else may share (any cohabitant's
+// write would corrupt the guaranteed zero). Stage 3 is skipped while
+// unreachable blocks exist (their liveness is unknowable; GlobalDCE
+// removes them, and the standard pipeline orders it first).
+type CopyCoalesce struct {
+	// Rewritten counts operand uses redirected to a copy source;
+	// CopiesRemoved counts deleted movs (redundant, dead, or
+	// self-copies after packing); RegsSaved accumulates the NumRegs
+	// reduction.
+	Rewritten     int
+	CopiesRemoved int
+	RegsSaved     int
+}
+
+// Name implements Pass.
+func (c *CopyCoalesce) Name() string { return "copy-coalesce" }
+
+// Run implements Pass.
+func (c *CopyCoalesce) Run(f *ir.Function) error {
+	c.propagate(f)
+	c.removeDeadCopies(f)
+	c.pack(f)
+	return nil
+}
+
+// propagate rewrites operands to their copy-chain representatives and
+// deletes movs that are no-ops at their own point.
+func (c *CopyCoalesce) propagate(f *ir.Function) {
+	info := ir.AnalyzeCFG(f)
+	ac := analysis.NewAvailCopies(f)
+	if len(ac.Copies) == 0 {
+		// Still normalize trivial self-copies.
+		c.dropMovs(f, func(in *ir.Instr) bool { return in.Op == ir.OpMov && in.Dst == in.A })
+		return
+	}
+	res := analysis.Solve(info, ac)
+	dead := make(map[*ir.Instr]bool)
+	for _, b := range info.RPO {
+		res.Replay(b, func(_ int, in *ir.Instr, facts *analysis.BitSet) {
+			if ac.IsRedundant(in, facts) {
+				dead[in] = true
+				return
+			}
+			// The facts were computed over the original copy relation;
+			// each rewrite replaces a register with one provably equal
+			// at this point, so values — and with them the validity of
+			// every fact — are preserved.
+			in.MapUses(func(r ir.Reg) ir.Reg {
+				nr := ac.Resolve(r, facts)
+				if nr != r {
+					c.Rewritten++
+				}
+				return nr
+			})
+		})
+	}
+	if len(dead) > 0 {
+		c.dropMovs(f, func(in *ir.Instr) bool { return dead[in] })
+	}
+}
+
+// removeDeadCopies deletes movs whose destination is dead at the copy,
+// iterating to a fixpoint (a deleted copy can kill its feeder).
+func (c *CopyCoalesce) removeDeadCopies(f *ir.Function) {
+	for {
+		info := ir.AnalyzeCFG(f)
+		live := analysis.Solve(info, analysis.NewLiveness(f))
+		dead := make(map[*ir.Instr]bool)
+		for _, b := range info.RPO {
+			live.Replay(b, func(_ int, in *ir.Instr, after *analysis.BitSet) {
+				if in.Op == ir.OpMov && !after.Has(int(in.Dst)) {
+					dead[in] = true
+				}
+			})
+		}
+		if len(dead) == 0 {
+			return
+		}
+		c.dropMovs(f, func(in *ir.Instr) bool { return dead[in] })
+	}
+}
+
+// pack renumbers registers into interference-free shared slots.
+func (c *CopyCoalesce) pack(f *ir.Function) {
+	info := ir.AnalyzeCFG(f)
+	if len(info.RPO) != len(f.Blocks) || len(info.RPO) == 0 {
+		return // unreachable blocks: liveness cannot cover them
+	}
+	n := f.NumRegs
+	p := f.NumParams
+	live := analysis.Solve(info, analysis.NewLiveness(f))
+
+	// Which registers appear at all, and the interference graph.
+	appears := make([]bool, n)
+	for r := 0; r < p; r++ {
+		appears[r] = true // params own their ABI slot even when unused
+	}
+	adj := make([]*analysis.BitSet, n)
+	edge := func(a, b ir.Reg) {
+		if adj[a] == nil {
+			adj[a] = analysis.NewBitSet(n)
+		}
+		if adj[b] == nil {
+			adj[b] = analysis.NewBitSet(n)
+		}
+		adj[a].Set(int(b))
+		adj[b].Set(int(a))
+	}
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if d := in.Defs(); d != ir.NoReg {
+				appears[d] = true
+			}
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
+				appears[u] = true
+			}
+		}
+	}
+	for _, b := range info.RPO {
+		live.Replay(b, func(_ int, in *ir.Instr, after *analysis.BitSet) {
+			d := in.Defs()
+			if d == ir.NoReg {
+				return
+			}
+			after.ForEach(func(r int) {
+				if ir.Reg(r) != d {
+					edge(d, ir.Reg(r))
+				}
+			})
+		})
+	}
+
+	// Non-parameter registers live into the entry read as zero; pin
+	// them to private slots.
+	pinned := make([]bool, n)
+	if entryIn := live.In[info.RPO[0]]; entryIn != nil {
+		entryIn.ForEach(func(r int) {
+			if r >= p {
+				pinned[r] = true
+			}
+		})
+	}
+
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	private := make([]bool, n+1) // per-slot: owned by a pinned register
+	for r := 0; r < p; r++ {
+		slotOf[r] = r
+	}
+	// Pinned registers first, so their slots are reserved before any
+	// sharing decision is made.
+	nextPrivate := p
+	for r := p; r < n; r++ {
+		if appears[r] && pinned[r] {
+			slotOf[r] = nextPrivate
+			private[nextPrivate] = true
+			nextPrivate++
+		}
+	}
+	taken := make([]bool, n+1) // scratch: slots conflicting with r
+	for r := p; r < n; r++ {
+		if !appears[r] || pinned[r] {
+			continue
+		}
+		for i := range taken {
+			taken[i] = false
+		}
+		if adj[r] != nil {
+			adj[r].ForEach(func(q int) {
+				if slotOf[q] >= 0 {
+					taken[slotOf[q]] = true
+				}
+			})
+		}
+		s := 0
+		for private[s] || taken[s] {
+			s++
+		}
+		slotOf[r] = s
+	}
+
+	newNum := p
+	identity := true
+	for r := 0; r < n; r++ {
+		if slotOf[r] < 0 {
+			continue // register no longer appears; its number is freed
+		}
+		if slotOf[r]+1 > newNum {
+			newNum = slotOf[r] + 1
+		}
+		if slotOf[r] != r {
+			identity = false
+		}
+	}
+	if identity && newNum == n {
+		return
+	}
+	remap := func(r ir.Reg) ir.Reg { return ir.Reg(slotOf[r]) }
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.MapRegs(remap)
+		}
+	}
+	c.RegsSaved += n - newNum
+	f.NumRegs = newNum
+	f.Touch()
+
+	// Coalesced copies are now self-copies; drop them.
+	c.dropMovs(f, func(in *ir.Instr) bool { return in.Op == ir.OpMov && in.Dst == in.A })
+}
+
+// dropMovs filters every block with keep-complement sel, counting the
+// removals and touching the function when anything changed.
+func (c *CopyCoalesce) dropMovs(f *ir.Function, sel func(*ir.Instr) bool) {
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if sel(in) {
+				removed++
+			} else {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+	if removed > 0 {
+		c.CopiesRemoved += removed
+		f.Touch()
+	}
+}

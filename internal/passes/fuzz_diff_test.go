@@ -7,25 +7,44 @@ import (
 )
 
 // fuzzPipelines enumerates the pass pipelines the differential fuzzer
-// compares against pristine execution. The inline pipeline is built per
-// module (Inline needs the module handle), so it is index 0 here and
-// constructed in the driver.
+// compares against pristine execution. Each constructor receives the
+// module handle (Inline and GlobalDCE need it). New pipelines must be
+// appended at the end: the fuzzer selects by index modulo the table
+// length, so inserting in the middle would silently re-point checked-in
+// corpus entries at different pipelines.
 var fuzzPipelines = []struct {
 	name string
-	mk   func() []Pass
+	mk   func(m *ir.Module) []Pass
 }{
-	{"inline", nil}, // special-cased: &Inline{Mod: m} then opt
-	{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
-	{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
-	{"carat-elim", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
-	{"carat-elim-nohoist", func() []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
-	{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
-	{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
-	{"everything", func() []Pass {
+	{"inline", func(m *ir.Module) []Pass {
+		return []Pass{&Inline{Mod: m}, &ConstFold{}, &GlobalDCE{Mod: m}}
+	}},
+	{"opt", func(m *ir.Module) []Pass { return []Pass{&ConstFold{}, &GlobalDCE{Mod: m}} }},
+	{"carat", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+	{"carat-elim", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
+	{"carat-elim-nohoist", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
+	{"timing", func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
+	{"poll", func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
+	{"everything", func(m *ir.Module) []Pass {
 		return []Pass{
-			&ConstFold{}, &DCE{}, &CARATInject{}, &CARATHoist{},
+			&ConstFold{}, &GlobalDCE{Mod: m}, &CARATInject{}, &CARATHoist{},
 			&TimingInject{TargetCycles: 700, ChunkLoops: true},
 		}
+	}},
+	// Appended by the analysis-driven optimizer work (keep order).
+	{"global-opt", StdOptimization},
+	{"licm", func(m *ir.Module) []Pass { return []Pass{&LICM{}} }},
+	{"coalesce", func(m *ir.Module) []Pass { return []Pass{&CopyCoalesce{}} }},
+	{"opt-carat", func(m *ir.Module) []Pass {
+		return append(StdOptimization(m),
+			&CARATInject{}, &CARATHoist{}, &CARATElim{})
+	}},
+	// The reverse composition: optimize the already-instrumented module,
+	// so guards and tracking calls are roots the optimizer must preserve
+	// (this is the carat experiment's "opt" configuration).
+	{"carat-opt", func(m *ir.Module) []Pass {
+		return append([]Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}},
+			StdOptimization(m)...)
 	}},
 }
 
@@ -44,13 +63,7 @@ func FuzzDifferentialPipelines(f *testing.F) {
 		p := fuzzPipelines[int(pipe)%len(fuzzPipelines)]
 		want := runFuzz(t, genProgram(seed))
 		m := genProgram(seed)
-		var passes []Pass
-		if p.mk == nil {
-			passes = []Pass{&Inline{Mod: m}, &ConstFold{}, &DCE{}}
-		} else {
-			passes = p.mk()
-		}
-		if err := RunAll(m, passes...); err != nil {
+		if err := RunAll(m, p.mk(m)...); err != nil {
 			t.Fatalf("seed %d pipeline %s: %v", seed, p.name, err)
 		}
 		if got := runFuzz(t, m); got != want {

@@ -14,14 +14,15 @@ import (
 
 // genProgram builds a random but well-formed, terminating, memory-safe
 // IR program from a seed: power-of-two arrays indexed through masks,
-// bounded (possibly nested) loops, random arithmetic chains, and a
-// checksum return. It is the input source for differential testing of
-// every pass pipeline.
+// bounded (possibly nested) loops, random arithmetic chains, register
+// copy chains (CopyCoalesce fodder), calls to pure and impure helpers
+// (purity-analysis fodder), and a checksum return. It is the input
+// source for differential testing of every pass pipeline.
 func genProgram(seed uint64) *ir.Module {
 	rng := sim.NewRNG(seed)
 	m := ir.NewModule("fuzz")
 
-	// Small helper functions for the inliner to chew on.
+	// Small pure helper functions for the inliner to chew on.
 	nHelpers := rng.Intn(3)
 	for h := 0; h < nHelpers; h++ {
 		hf := m.NewFunction(helperName(h), 2)
@@ -35,6 +36,21 @@ func genProgram(seed uint64) *ir.Module {
 		case 2:
 			v = hb.Sub(v, hb.Param(0))
 		}
+		hb.Ret(v)
+	}
+
+	// An impure helper: allocates scratch, stores/loads through it, and
+	// frees it. Calls to it must never be removed (not DCE-safe: it
+	// allocates and may fault) even when their results are dead, which
+	// exercises the conservative side of the purity summaries under
+	// every pipeline.
+	{
+		hf := m.NewFunction(impureHelper, 1)
+		hb := ir.NewBuilder(hf)
+		buf := hb.Alloc(8)
+		hb.Store(buf, 0, hb.Param(0))
+		v := hb.Add(hb.Load(buf, 0), hb.Const(1))
+		hb.Free(buf)
 		hb.Ret(v)
 	}
 
@@ -78,7 +94,7 @@ func genProgram(seed uint64) *ir.Module {
 				push(b.Call(helperName(rng.Intn(nHelpers)), pick(), pick()))
 				continue
 			}
-			switch rng.Intn(8) {
+			switch rng.Intn(10) {
 			case 0:
 				push(b.Add(pick(), pick()))
 			case 1:
@@ -112,6 +128,17 @@ func genProgram(seed uint64) *ir.Module {
 					emitOps(depth+1, inner)
 				})
 				pool = saved
+			case 8: // copy chain (coalescing / copy-propagation fodder)
+				v := b.Mov(pick())
+				for n := rng.Intn(3); n > 0; n-- {
+					v = b.Mov(v)
+				}
+				push(v)
+			case 9: // impure call; result sometimes deliberately dropped
+				v := b.Call(impureHelper, pick())
+				if rng.Intn(2) == 0 {
+					push(v)
+				}
 			}
 		}
 	}
@@ -164,38 +191,13 @@ func runFuzz(t *testing.T, m *ir.Module) uint64 {
 // TestDifferentialPassPipelines: for random programs, every pass
 // pipeline must preserve the checksum exactly.
 func TestDifferentialPassPipelines(t *testing.T) {
-	pipelines := []struct {
-		name string
-		mk   func() []Pass
-	}{
-		{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
-		{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
-		{"carat-elim", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
-		{"carat-elim-nohoist", func() []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
-		{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
-		{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
-		{"everything", func() []Pass {
-			return []Pass{
-				&ConstFold{}, &DCE{}, &CARATInject{}, &CARATHoist{},
-				&TimingInject{TargetCycles: 700, ChunkLoops: true},
-			}
-		}},
-	}
 	check := func(seed uint64) bool {
 		want := runFuzz(t, genProgram(seed))
-		// Inline pipeline needs the module handle, so it is built here.
-		{
+		// Reuse the fuzzer's pipeline table (fuzz_diff_test.go) so the
+		// quick.Check leg and the coverage-guided leg stay in sync.
+		for _, p := range fuzzPipelines {
 			m := genProgram(seed)
-			if err := RunAll(m, &Inline{Mod: m}, &ConstFold{}, &DCE{}); err != nil {
-				t.Fatalf("seed %d inline pipeline: %v", seed, err)
-			}
-			if got := runFuzz(t, m); got != want {
-				t.Fatalf("seed %d inline pipeline: checksum %d != %d", seed, got, want)
-			}
-		}
-		for _, p := range pipelines {
-			m := genProgram(seed)
-			if err := RunAll(m, p.mk()...); err != nil {
+			if err := RunAll(m, p.mk(m)...); err != nil {
 				t.Fatalf("seed %d pipeline %s: %v", seed, p.name, err)
 			}
 			if got := runFuzz(t, m); got != want {
@@ -213,6 +215,9 @@ func TestDifferentialPassPipelines(t *testing.T) {
 func helperName(i int) string {
 	return string(rune('a'+i)) + "_helper"
 }
+
+// impureHelper is the generator's non-DCE-safe callee.
+const impureHelper = "scratch_helper"
 
 // TestFuzzProgramsAreValid: the generator only produces Verify-valid
 // modules.
@@ -244,12 +249,13 @@ func TestFuzzAnalysesConverge(t *testing.T) {
 			rdRes := analysis.Solve(info, rd)
 			alias := analysis.AnalyzeAlias(f, rd, rdRes)
 			for name, p := range map[string]analysis.Problem{
-				"reaching":  rd,
-				"liveness":  analysis.NewLiveness(f),
-				"defassign": analysis.NewDefiniteAssign(f),
-				"avail":     analysis.NewAvailFacts(f, alias),
-				"mustfreed": analysis.NewMustFreed(f, alias),
-				"liveheap":  analysis.NewLiveUnfreed(f, alias),
+				"reaching":    rd,
+				"liveness":    analysis.NewLiveness(f),
+				"defassign":   analysis.NewDefiniteAssign(f),
+				"avail":       analysis.NewAvailFacts(f, alias),
+				"mustfreed":   analysis.NewMustFreed(f, alias),
+				"liveheap":    analysis.NewLiveUnfreed(f, alias),
+				"availcopies": analysis.NewAvailCopies(f),
 			} {
 				res := analysis.Solve(info, p)
 				if !res.Converged {

@@ -1,0 +1,111 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// GlobalDCE is liveness-based dead-code elimination across the whole
+// CFG. It subsumes the local syntactic DCE sweep in three ways:
+//
+//   - a side-effect-free definition is deleted when the register is
+//     dead at that point even if other parts of the function still read
+//     the register through a later definition (partially-dead stores);
+//   - unreachable blocks — including dead cycles that reference each
+//     other and so survive ir.Verify — are removed outright;
+//   - with a module handle, calls whose result is unused are deleted
+//     when the interprocedural purity summary proves the callee
+//     DCE-safe (pure, cannot fault, provably terminates).
+//
+// Deleting instructions changes cycle/step counts relative to the
+// unoptimized program (that is the point) but never the computed
+// values, the heap, or the CARAT runtime's observations; the
+// differential fuzzer holds both engines to bit-identical behavior on
+// the transformed module and to the pristine module's checksum.
+type GlobalDCE struct {
+	// Mod, when set, enables purity-based dead-call elimination.
+	Mod *ir.Module
+
+	// Removed counts deleted instructions; BlocksRemoved counts deleted
+	// unreachable blocks; CallsRemoved is the subset of Removed that
+	// were calls to DCE-safe functions.
+	Removed       int
+	BlocksRemoved int
+	CallsRemoved  int
+
+	purity *analysis.Purity
+}
+
+// Name implements Pass.
+func (d *GlobalDCE) Name() string { return "global-dce" }
+
+// Run implements Pass.
+func (d *GlobalDCE) Run(f *ir.Function) error {
+	if d.Mod != nil && d.purity == nil {
+		// Purity summaries stay conservative under this pass's own
+		// edits (it only ever deletes effect-free code), so computing
+		// them once per module is sound.
+		d.purity = analysis.AnalyzePurity(d.Mod)
+	}
+	for {
+		info := ir.AnalyzeCFG(f)
+
+		// Drop unreachable blocks first: they contribute nothing to
+		// liveness and keeping them would force conservative answers.
+		if len(info.RPO) < len(f.Blocks) {
+			reachable := make(map[*ir.Block]bool, len(info.RPO))
+			for _, b := range info.RPO {
+				reachable[b] = true
+			}
+			kept := f.Blocks[:0]
+			for _, b := range f.Blocks {
+				if reachable[b] {
+					kept = append(kept, b)
+				} else {
+					d.BlocksRemoved++
+				}
+			}
+			f.Blocks = kept
+			f.Touch()
+			info = ir.AnalyzeCFG(f)
+		}
+
+		live := analysis.Solve(info, analysis.NewLiveness(f))
+		removed := 0
+		for _, b := range info.RPO {
+			dead := make(map[*ir.Instr]bool)
+			live.Replay(b, func(_ int, in *ir.Instr, after *analysis.BitSet) {
+				dst := in.Defs()
+				if dst == ir.NoReg || after.Has(int(dst)) {
+					return
+				}
+				switch {
+				case analysis.SideEffectFree(in.Op):
+					dead[in] = true
+				case in.Op == ir.OpCall && d.purity != nil && d.purity.Summary(in.Callee).DCESafe():
+					dead[in] = true
+					d.CallsRemoved++
+				}
+			})
+			if len(dead) == 0 {
+				continue
+			}
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if dead[in] {
+					removed++
+				} else {
+					kept = append(kept, in)
+				}
+			}
+			b.Instrs = kept
+		}
+		d.Removed += removed
+		if removed == 0 {
+			return nil
+		}
+		// Deleting a use can kill the definitions feeding it; iterate
+		// until liveness finds nothing more.
+		f.Touch()
+	}
+}

@@ -143,7 +143,7 @@ func TestInlineVoidCallee(t *testing.T) {
 
 func TestInlineComposesWithCARAT(t *testing.T) {
 	m := callerCalleeModule()
-	if err := RunAll(m, &Inline{Mod: m}, &ConstFold{}, &DCE{},
+	if err := RunAll(m, &Inline{Mod: m}, &ConstFold{}, &GlobalDCE{Mod: m},
 		&CARATInject{}, &CARATHoist{}); err != nil {
 		t.Fatal(err)
 	}

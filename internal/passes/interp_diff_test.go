@@ -33,14 +33,17 @@ func attachRuntime(ip *interp.Interp) *carat.Table {
 func TestDifferentialFastVsReference(t *testing.T) {
 	pipelines := []struct {
 		name string
-		mk   func() []Pass
+		mk   func(m *ir.Module) []Pass
 	}{
 		{"pristine", nil},
-		{"opt", func() []Pass { return []Pass{&ConstFold{}, &DCE{}} }},
-		{"carat", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
-		{"carat-elim", func() []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
-		{"timing", func() []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
-		{"poll", func() []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
+		{"opt", func(m *ir.Module) []Pass { return []Pass{&ConstFold{}, &GlobalDCE{Mod: m}} }},
+		{"global-opt", StdOptimization},
+		{"coalesce", func(m *ir.Module) []Pass { return []Pass{&CopyCoalesce{}} }},
+		{"licm", func(m *ir.Module) []Pass { return []Pass{&LICM{}} }},
+		{"carat", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+		{"carat-elim", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
+		{"timing", func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
+		{"poll", func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
 	}
 	seeds := 12
 	if testing.Short() {
@@ -50,7 +53,7 @@ func TestDifferentialFastVsReference(t *testing.T) {
 		for _, p := range pipelines {
 			m := genProgram(seed)
 			if p.mk != nil {
-				if err := RunAll(m, p.mk()...); err != nil {
+				if err := RunAll(m, p.mk(m)...); err != nil {
 					t.Fatalf("seed %d %s: %v", seed, p.name, err)
 				}
 			}

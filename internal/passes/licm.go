@@ -1,0 +1,91 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// LICM hoists speculatable loop-invariant instructions to loop
+// preheaders, generalizing the guard-only hoisting CARATHoist does:
+// constants, moves, and ALU/FP computations whose operands do not
+// change across iterations are computed once before the loop instead
+// of every trip.
+//
+// Candidate selection lives in the analysis layer
+// (analysis.LoopNest.HoistCandidates, shared with the
+// loop-invariant-recompute lint diagnostic): the opcode must be
+// speculatable, every operand loop-invariant, the destination defined
+// exactly once in the loop and not live into the header — which makes
+// the preheader execution produce exactly the value every iteration
+// would have, and makes the extra execution on zero-trip paths
+// unobservable. Hoisting proceeds innermost-loop-first and re-analyzes
+// after every preheader edit, so an instruction freed from an inner
+// loop can move again out of the enclosing one on a later round.
+type LICM struct {
+	// Hoisted counts instructions moved to a preheader.
+	Hoisted int
+}
+
+// Name implements Pass.
+func (p *LICM) Name() string { return "licm" }
+
+// Run implements Pass.
+func (p *LICM) Run(f *ir.Function) error {
+	// Each round hoists every candidate of one loop and restarts (the
+	// preheader edit stales the CFG). Every instruction moves at most
+	// loop-depth times, so the cap is generous; hitting it would mean a
+	// candidate oscillation, which re-running cannot fix.
+	for rounds := 0; rounds < 64+len(f.Blocks)*8; rounds++ {
+		if !p.hoistOnce(f) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// hoistOnce moves every candidate of the first (innermost-first) loop
+// that has any, returning false when nothing is left to hoist.
+func (p *LICM) hoistOnce(f *ir.Function) bool {
+	info := ir.AnalyzeCFG(f)
+	if len(info.Loops) == 0 {
+		return false
+	}
+	dom := analysis.NewDomTree(info)
+	ln := analysis.AnalyzeLoops(info, dom)
+	live := analysis.Solve(info, analysis.NewLiveness(f))
+	cands := ln.HoistCandidates(live)
+	if len(cands) == 0 {
+		return false
+	}
+	target := cands[0].Loop
+	moved := make(map[*ir.Instr]bool)
+	var hoisted []*ir.Instr
+	for _, c := range cands {
+		if c.Loop == target {
+			moved[c.In] = true
+			hoisted = append(hoisted, c.In)
+		}
+	}
+	// Preheader may insert a block (and becomes the place the hoisted
+	// code runs once, dominating the header).
+	ph := info.Preheader(target.Loop)
+	for _, b := range target.Body {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if moved[in] {
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	// Insert before the preheader's terminator, preserving candidate
+	// order. (Candidates hoisted together have no in-loop operand
+	// definitions at all, so they cannot depend on each other; the
+	// order only keeps the output deterministic.)
+	term := len(ph.Instrs) - 1
+	ph.Instrs = append(ph.Instrs[:term], append(hoisted, ph.Instrs[term])...)
+	p.Hoisted += len(hoisted)
+	f.Touch()
+	return true
+}

@@ -1,0 +1,276 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// loopOpCount counts op occurrences inside natural-loop bodies of f.
+func loopOpCount(f *ir.Function, op ir.Op) int {
+	info := ir.AnalyzeCFG(f)
+	n := 0
+	for _, l := range info.Loops {
+		for blk := range l.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestLICMHoistsInvariantALU: an add of two loop-invariant values moves
+// to the preheader and runs once.
+func TestLICMHoistsInvariantALU(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		sum := b.Const(0)
+		b.CountingLoop(0, 8, 1, func(i ir.Reg) {
+			inv := b.Mul(b.Param(0), b.Param(1)) // invariant: recomputed every trip
+			b.MovTo(sum, b.Add(sum, b.Add(inv, i)))
+		})
+		b.Ret(sum)
+		return m
+	}
+
+	m := build()
+	want := runMain(t, m, "f", 3, 5)
+
+	m2 := build()
+	f2 := m2.Funcs["f"]
+	before := loopOpCount(f2, ir.OpMul)
+	if before != 1 {
+		t.Fatalf("test setup: %d in-loop muls, want 1", before)
+	}
+	licm := &LICM{}
+	if err := RunAll(m2, licm); err != nil {
+		t.Fatal(err)
+	}
+	if licm.Hoisted == 0 {
+		t.Fatal("nothing hoisted")
+	}
+	if after := loopOpCount(f2, ir.OpMul); after != 0 {
+		t.Fatalf("%d muls still in the loop", after)
+	}
+	if f2.CountOp(ir.OpMul) != 1 {
+		t.Fatal("the mul should survive outside the loop")
+	}
+	if got := runMain(t, m2, "f", 3, 5); got != want {
+		t.Fatalf("semantics changed: %d != %d", got, want)
+	}
+}
+
+// TestLICMRefusals: loads, faulting ops, multiply-defined destinations,
+// and destinations live into the header must not move.
+func TestLICMRefusals(t *testing.T) {
+	t.Run("load", func(t *testing.T) {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 0)
+		b := ir.NewBuilder(f)
+		buf := b.Alloc(8)
+		b.Store(buf, 0, b.Const(11))
+		sum := b.Const(0)
+		b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+			v := b.Load(buf, 0) // invariant address, but loads are observable
+			b.MovTo(sum, b.Add(sum, v))
+		})
+		b.Free(buf)
+		b.Ret(sum)
+
+		licm := &LICM{}
+		if err := RunAll(m, licm); err != nil {
+			t.Fatal(err)
+		}
+		if loopOpCount(f, ir.OpLoad) != 1 {
+			t.Fatal("load hoisted out of the loop")
+		}
+	})
+
+	t.Run("div", func(t *testing.T) {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		sum := b.Const(0)
+		b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+			q := b.Div(b.Param(0), b.Param(1)) // may fault; must stay guarded by the trip count
+			b.MovTo(sum, b.Add(sum, q))
+		})
+		b.Ret(sum)
+
+		licm := &LICM{}
+		if err := RunAll(m, licm); err != nil {
+			t.Fatal(err)
+		}
+		if loopOpCount(f, ir.OpDiv) != 1 {
+			t.Fatal("faultable div hoisted")
+		}
+	})
+
+	t.Run("multi-def", func(t *testing.T) {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		sum := b.Const(0)
+		b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+			v := b.Mul(b.Param(0), b.Param(1)) // invariant operands...
+			b.MovTo(v, b.Add(v, i))            // ...but v has a second in-loop def
+			b.MovTo(sum, b.Add(sum, v))
+		})
+		b.Ret(sum)
+
+		want := loopOpCount(f, ir.OpMul)
+		licm := &LICM{}
+		if err := RunAll(m, licm); err != nil {
+			t.Fatal(err)
+		}
+		if loopOpCount(f, ir.OpMul) != want {
+			t.Fatal("multiply-defined destination hoisted")
+		}
+	})
+
+	t.Run("live-into-header", func(t *testing.T) {
+		// v is read at the top of each iteration before being rewritten:
+		// hoisting the rewrite would clobber the value the first
+		// iteration must see.
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		v := b.Const(100)
+		sum := b.Const(0)
+		b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+			b.MovTo(sum, b.Add(sum, v))               // reads v from the previous trip
+			b.MovTo(v, b.Mul(b.Param(0), b.Param(1))) // invariant value, live-in dst
+		})
+		b.Ret(sum)
+
+		want := runMain(t, m, "f", 3, 5) // 100 + 3*15 = 145
+
+		m2 := ir.NewModule("t2")
+		f2 := m2.NewFunction("f", 2)
+		b = ir.NewBuilder(f2)
+		v = b.Const(100)
+		sum = b.Const(0)
+		b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+			b.MovTo(sum, b.Add(sum, v))
+			b.MovTo(v, b.Mul(b.Param(0), b.Param(1)))
+		})
+		b.Ret(sum)
+
+		licm := &LICM{}
+		if err := RunAll(m2, licm); err != nil {
+			t.Fatal(err)
+		}
+		if got := runMain(t, m2, "f", 3, 5); got != want {
+			t.Fatalf("live-into-header hoist changed semantics: %d != %d", got, want)
+		}
+		// The mul itself may hoist (its temp is loop-local), but the
+		// write to v — live into the header — must stay in the loop.
+		info := ir.AnalyzeCFG(f2)
+		inLoopWrites := 0
+		for _, l := range info.Loops {
+			for blk := range l.Blocks {
+				for _, in := range blk.Instrs {
+					if in.Defs() == v {
+						inLoopWrites++
+					}
+				}
+			}
+		}
+		if inLoopWrites == 0 {
+			t.Fatal("write to a header-live register was hoisted")
+		}
+	})
+}
+
+// TestLICMZeroTrip: a loop whose body never executes must still see the
+// correct (unclobbered) values after LICM, and hoisted speculatable
+// code must not change anything observable.
+func TestLICMZeroTrip(t *testing.T) {
+	build := func() *ir.Module {
+		// for (i = p0; i > 0; i--) { v = p1 * 7; sum += v } — with
+		// p0 == 0 the body never runs; the hoisted mul still executes in
+		// the preheader, which must be unobservable.
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		head := b.Block("head")
+		body := b.Block("body")
+		exit := b.Block("exit")
+		sum := b.Const(0)
+		one := b.Const(1)
+		i := b.Mov(b.Param(0))
+		b.Jmp(head)
+		b.SetBlock(head)
+		cond := b.ICmp(ir.PredGT, i, b.Const(0))
+		b.Br(cond, body, exit)
+		b.SetBlock(body)
+		v := b.Mul(b.Param(1), b.Const(7))
+		b.MovTo(sum, b.Add(sum, v))
+		b.MovTo(i, b.Sub(i, one))
+		b.Jmp(head)
+		b.SetBlock(exit)
+		b.Ret(sum)
+		return m
+	}
+
+	m := build()
+	wantZero := runMain(t, m, "f", 0, 9)
+	wantTwo := runMain(t, m, "f", 2, 9)
+
+	m2 := build()
+	licm := &LICM{}
+	if err := RunAll(m2, licm); err != nil {
+		t.Fatal(err)
+	}
+	if licm.Hoisted == 0 {
+		t.Fatal("nothing hoisted; the zero-trip case is vacuous")
+	}
+	if n := loopOpCount(m2.Funcs["f"], ir.OpMul); n != 0 {
+		t.Fatalf("%d muls still in the loop", n)
+	}
+	if got := runMain(t, m2, "f", 0, 9); got != wantZero {
+		t.Fatalf("zero-trip semantics changed: %d != %d", got, wantZero)
+	}
+	if got := runMain(t, m2, "f", 2, 9); got != wantTwo {
+		t.Fatalf("two-trip semantics changed: %d != %d", got, wantTwo)
+	}
+}
+
+// TestLICMNestedLoops: an invariant moved out of the inner loop keeps
+// moving to the outermost preheader over successive rounds.
+func TestLICMNestedLoops(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("t")
+		f := m.NewFunction("f", 2)
+		b := ir.NewBuilder(f)
+		sum := b.Const(0)
+		b.CountingLoop(0, 3, 1, func(i ir.Reg) {
+			b.CountingLoop(0, 3, 1, func(j ir.Reg) {
+				inv := b.Mul(b.Param(0), b.Param(1)) // invariant to both loops
+				b.MovTo(sum, b.Add(sum, b.Add(inv, b.Add(i, j))))
+			})
+		})
+		b.Ret(sum)
+		return m
+	}
+
+	m := build()
+	want := runMain(t, m, "f", 4, 6)
+
+	m2 := build()
+	f2 := m2.Funcs["f"]
+	if err := RunAll(m2, &LICM{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := loopOpCount(f2, ir.OpMul); n != 0 {
+		t.Fatalf("%d muls still inside a loop (should reach the outermost preheader)", n)
+	}
+	if got := runMain(t, m2, "f", 4, 6); got != want {
+		t.Fatalf("semantics changed: %d != %d", got, want)
+	}
+}

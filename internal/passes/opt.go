@@ -127,6 +127,13 @@ func (c *ConstFold) foldInstr(in *ir.Instr, known map[ir.Reg]uint64) {
 // DCE removes pure instructions whose results are never used anywhere in
 // the function, iterating to a fixpoint. Memory operations, calls,
 // intrinsics, and terminators are never removed.
+//
+// Deprecated: DCE is the local, syntactic baseline. GlobalDCE subsumes
+// it — liveness-based, so it also deletes partially-dead definitions,
+// unreachable blocks, and (given a module handle) dead calls to pure
+// bounded functions — and has replaced it in every shipped pipeline.
+// DCE is retained only as the oracle for the subsumption regression
+// test.
 type DCE struct {
 	Removed int
 }

@@ -128,11 +128,11 @@ func TestDCEKeepsSideEffects(t *testing.T) {
 }
 
 func TestOptimizePipelinePreservesKernelSemantics(t *testing.T) {
-	// Full pipeline over the walk kernel: fold + DCE + CARAT + timing,
-	// identical result.
+	// Full pipeline over the walk kernel: fold + global DCE + coalesce +
+	// LICM + CARAT + timing, identical result.
 	m := arrayWalk()
-	if err := RunAll(m, &ConstFold{}, &DCE{}, &CARATInject{}, &CARATHoist{},
-		&TimingInject{TargetCycles: 2000, ChunkLoops: true}); err != nil {
+	if err := RunAll(m, append(StdOptimization(m), &CARATInject{}, &CARATHoist{},
+		&TimingInject{TargetCycles: 2000, ChunkLoops: true})...); err != nil {
 		t.Fatal(err)
 	}
 	got, _, tb := runWalk(t, m)

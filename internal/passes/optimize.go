@@ -1,0 +1,71 @@
+package passes
+
+import "repro/internal/ir"
+
+// OptStats reports what one Optimize call did.
+type OptStats struct {
+	Rounds        int
+	Folded        int // ConstFold rewrites
+	Removed       int // GlobalDCE instruction deletions
+	BlocksRemoved int
+	CallsRemoved  int
+	Rewritten     int // CopyCoalesce operand redirects
+	CopiesRemoved int
+	RegsSaved     int // NumRegs reduction across all functions
+	Hoisted       int // LICM moves
+}
+
+func (s *OptStats) changed() bool {
+	return s.Folded+s.Removed+s.BlocksRemoved+s.Rewritten+
+		s.CopiesRemoved+s.RegsSaved+s.Hoisted > 0
+}
+
+func (s *OptStats) add(o OptStats) {
+	s.Folded += o.Folded
+	s.Removed += o.Removed
+	s.BlocksRemoved += o.BlocksRemoved
+	s.CallsRemoved += o.CallsRemoved
+	s.Rewritten += o.Rewritten
+	s.CopiesRemoved += o.CopiesRemoved
+	s.RegsSaved += o.RegsSaved
+	s.Hoisted += o.Hoisted
+}
+
+// StdOptimization returns one round of the standard analysis-driven
+// optimization pipeline for m: constant folding, liveness-based global
+// DCE (with purity-driven dead-call elimination), copy coalescing with
+// frame packing, and loop-invariant code motion.
+func StdOptimization(m *ir.Module) []Pass {
+	return []Pass{&ConstFold{}, &GlobalDCE{Mod: m}, &CopyCoalesce{}, &LICM{}}
+}
+
+// Optimize runs the standard pipeline to a fixpoint: passes enable one
+// another (a hoisted constant becomes foldable, a propagated copy
+// becomes dead, a packed frame exposes a redundant copy), so rounds
+// repeat until a full round reports no change. Instruction counts and
+// register counts strictly decrease between rounds except for LICM's
+// bounded moves, so the cap is a safety net, not a budget.
+func Optimize(m *ir.Module) (OptStats, error) {
+	var total OptStats
+	for round := 0; round < 16; round++ {
+		cf := &ConstFold{}
+		dce := &GlobalDCE{Mod: m}
+		cc := &CopyCoalesce{}
+		licm := &LICM{}
+		if err := RunAll(m, cf, dce, cc, licm); err != nil {
+			return total, err
+		}
+		r := OptStats{
+			Folded: cf.Folded, Removed: dce.Removed,
+			BlocksRemoved: dce.BlocksRemoved, CallsRemoved: dce.CallsRemoved,
+			Rewritten: cc.Rewritten, CopiesRemoved: cc.CopiesRemoved,
+			RegsSaved: cc.RegsSaved, Hoisted: licm.Hoisted,
+		}
+		total.add(r)
+		total.Rounds = round + 1
+		if !r.changed() {
+			return total, nil
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,108 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+// TestOptimizeFixpointAndLintLockstep: the opportunity linter and the
+// optimizer consume the same analyses, so on any module Optimize has
+// finished with, LintOpt must report nothing — on the full CARAT suite
+// and a sample of fuzz programs, with semantics and Verify intact.
+func TestOptimizeFixpointAndLintLockstep(t *testing.T) {
+	type prog struct {
+		name  string
+		m     *ir.Module
+		entry string
+		want  uint64
+	}
+	var progs []prog
+	for _, k := range workloads.CARATSuite() {
+		pristine := k.Build()
+		progs = append(progs, prog{k.Name, k.Build(), k.Entry, runMain(t, pristine, k.Entry)})
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		progs = append(progs, prog{"fuzz", genProgram(seed), "main",
+			runMain(t, genProgram(seed), "main")})
+	}
+
+	sawOpportunities := false
+	for _, p := range progs {
+		pre := len(analysis.LintOpt(p.m))
+		if pre > 0 {
+			sawOpportunities = true
+		}
+		stats, err := Optimize(p.m)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if stats.Rounds >= 16 {
+			t.Errorf("%s: no fixpoint within the round cap", p.name)
+		}
+		if err := ir.VerifyModule(p.m, nil); err != nil {
+			t.Errorf("%s: invalid after Optimize: %v", p.name, err)
+		}
+		if post := analysis.LintOpt(p.m); len(post) != 0 {
+			t.Errorf("%s: %d opportunity diagnostics survive Optimize (pre: %d); first: %+v",
+				p.name, len(post), pre, post[0])
+		}
+		if got := runMain(t, p.m, p.entry); got != p.want {
+			t.Errorf("%s: checksum changed: %d != %d", p.name, got, p.want)
+		}
+	}
+	if !sawOpportunities {
+		t.Fatal("no program showed any pre-optimization opportunity; lockstep test is vacuous")
+	}
+}
+
+// TestOptimizeIdempotent: a second Optimize call on an already-optimized
+// module reports no work.
+func TestOptimizeIdempotent(t *testing.T) {
+	for _, k := range workloads.CARATSuite()[:3] {
+		m := k.Build()
+		if _, err := Optimize(m); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Optimize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rounds != 1 || stats.Folded+stats.Removed+stats.Hoisted+
+			stats.CopiesRemoved+stats.RegsSaved+stats.Rewritten > 0 {
+			t.Fatalf("%s: second Optimize still worked: %+v", k.Name, stats)
+		}
+	}
+}
+
+// TestLintOptFlagsKnownShapes: each diagnostic kind fires on its
+// textbook trigger.
+func TestLintOptFlagsKnownShapes(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 2)
+	b := ir.NewBuilder(f)
+	x := b.Mov(b.Param(0))
+	b.MovTo(x, b.Param(0)) // redundant copy
+	dead := b.Add(b.Param(0), b.Const(2))
+	b.MovTo(dead, b.Param(1)) // makes the add partially dead
+	sum := b.Const(0)
+	b.CountingLoop(0, 4, 1, func(i ir.Reg) {
+		inv := b.Mul(b.Param(0), b.Param(1)) // loop-invariant recompute
+		b.MovTo(sum, b.Add(sum, b.Add(inv, b.Add(x, dead))))
+	})
+	b.Ret(sum)
+
+	kinds := make(map[analysis.Kind]int)
+	for _, d := range analysis.LintOpt(m) {
+		kinds[d.Kind]++
+	}
+	for _, k := range []analysis.Kind{
+		analysis.KindRedundantCopy, analysis.KindLoopInvariant, analysis.KindPartialDeadStore,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s not reported (got %v)", k, kinds)
+		}
+	}
+}

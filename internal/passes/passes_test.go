@@ -94,6 +94,74 @@ func TestInjectTracksAllocFree(t *testing.T) {
 	}
 }
 
+// TestInjectAllocClobbersSizeReg: copy coalescing may pack an alloc's
+// base into the slot of its size register (the size dies at the alloc,
+// and operand reads precede the dst write). Injection must snapshot the
+// size before the alloc instead of reading the clobbered register —
+// otherwise the tracked region spans from the base to base+base and the
+// next allocation reports a spurious overlap.
+func TestInjectAllocClobbersSizeReg(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunction("f", 0)
+	b := ir.NewBuilder(f)
+	sz := b.Const(64)
+	arr := b.AllocReg(sz)
+	second := b.Alloc(64)
+	b.Store(arr, 0, b.Const(7))
+	b.Store(second, 0, b.Const(8))
+	v := b.Add(b.Load(arr, 0), b.Load(second, 0))
+	b.Free(second)
+	b.Free(arr)
+	b.Ret(v)
+	// Force the coalesced shape: the first alloc writes its own size
+	// register, and every later use of the old base reads that register.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpAlloc && in.A == sz {
+				in.Dst = sz
+			}
+		}
+	}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			in.MapUses(func(r ir.Reg) ir.Reg {
+				if r == arr {
+					return sz
+				}
+				return r
+			})
+		}
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("test setup invalid: %v", err)
+	}
+
+	if err := RunAll(m, &CARATInject{}); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := carat.NewTable()
+	ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+	ip.Hooks.TrackAlloc = tb.TrackAlloc
+	ip.Hooks.TrackFree = tb.TrackFree
+	got, err := ip.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("f() = %d, want 15", got)
+	}
+	if tb.Violations != 0 {
+		t.Fatalf("spurious violations: %d", tb.Violations)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("%d regions still tracked after frees", tb.Len())
+	}
+}
+
 func TestHoistReplacesPerIterationGuards(t *testing.T) {
 	m := arrayWalk()
 	inj := &CARATInject{}
