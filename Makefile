@@ -3,7 +3,7 @@ GO ?= go
 # Minimum per-package statement coverage (percent) for the cover gate.
 COVER_FLOOR ?= 60
 
-.PHONY: build vet detvet lint test short race race-mem race-machine race-passes bench bench-mem bench-machine benchsmoke cover all check
+.PHONY: build vet detvet lint test short race race-mem race-machine race-passes race-interp bench bench-mem bench-machine bench-interp-fused benchsmoke cover all check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,14 @@ race-passes:
 	$(GO) test -race ./internal/analysis ./internal/passes -run 'TestGlobalDCE|TestLICM|TestCoalesce|TestOptimize|TestAvailCopies|TestAnalyzePurity|TestDomTree|TestLoopNest'
 	$(GO) test -race ./internal/core -run 'TestCARATGeomeanUnderSix'
 
+# Focused race leg for the interpreter engines: concurrent executors
+# over a shared quiescent module (each with its own Interp) must stay
+# race-free with superinstruction fusion active, and the fused
+# differential sweeps keep the engines honest under the detector.
+race-interp:
+	$(GO) test -race ./internal/interp
+	$(GO) test -race ./internal/passes -run 'TestDifferentialPassPipelines|FuzzDifferentialPipelines'
+
 # Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
 # fast path vs reference engine vs the pinned seed baseline).
 bench:
@@ -71,6 +79,12 @@ bench-mem:
 # BENCH_machine.json.
 bench-machine:
 	$(GO) run ./cmd/benchdiff -machine -o BENCH_machine.json
+
+# Interpreter-engine benchmark legs only (fast / reference / optimized /
+# fused / optimized+fused), regenerating BENCH_interp.json with the
+# fused geomeans; cheaper than the full `bench` sweep.
+bench-interp-fused:
+	$(GO) run ./cmd/benchdiff -o BENCH_interp.json
 
 # One run of every CARAT kernel on both execution engines plus a 10k-op
 # allocator differential trace, requiring bit-identical results; no
@@ -93,4 +107,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race race-mem race-machine race-passes cover benchsmoke
+check: build vet lint race race-mem race-machine race-passes race-interp cover benchsmoke

@@ -25,8 +25,9 @@ import (
 	"math"
 	"os"
 	"reflect"
+	"runtime"
 	"sort"
-	"testing"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/passes"
@@ -46,47 +47,140 @@ type report struct {
 	Fast                 map[string]entry `json:"fast"`
 	Reference            map[string]entry `json:"reference"`
 	Opt                  map[string]entry `json:"opt"`
+	Fused                map[string]entry `json:"fused"`
+	OptFused             map[string]entry `json:"opt_fused"`
 	GeomeanSpeedupVsSeed float64          `json:"geomean_speedup_vs_seed,omitempty"`
 	GeomeanSpeedupVsRef  float64          `json:"geomean_speedup_vs_reference,omitempty"`
 	GeomeanSpeedupOpt    float64          `json:"geomean_speedup_opt_vs_fast,omitempty"`
+	GeomeanSpeedupFused  float64          `json:"geomean_speedup_fused_vs_fast,omitempty"`
+	GeomeanSpeedupOptFus float64          `json:"geomean_speedup_optfused_vs_fast,omitempty"`
 	CPU                  string           `json:"cpu,omitempty"`
 	Note                 string           `json:"note,omitempty"`
 }
 
-func benchKernel(k workloads.IRKernel, reference, optimize bool) entry {
-	r := testing.Benchmark(func(b *testing.B) {
+// legSpec selects one measured engine configuration of a kernel.
+type legSpec struct {
+	name      string
+	reference bool
+	optimize  bool
+	fused     bool
+}
+
+// interpLegs is the measured matrix: the fast/reference/opt legs pin
+// fusion off (it is on by default) so the fused-vs-fast geomean
+// compares against an honest unfused baseline.
+var interpLegs = []legSpec{
+	{name: "fast"},
+	{name: "reference", reference: true},
+	{name: "opt", optimize: true},
+	{name: "fused", fused: true},
+	{name: "opt_fused", optimize: true, fused: true},
+}
+
+// benchKernel measures every engine leg of one kernel. The legs are
+// timed interleaved — each round times every leg once, back to back,
+// and a leg's ns/op is its median round — rather than sequentially:
+// on a machine with background load or frequency scaling, sequential
+// per-leg benchmarks attribute whole slow windows to single legs and
+// can invert real orderings. Interleaving keeps every leg's samples in
+// the same machine states, and the median (unlike the minimum, which
+// may pick each leg's sample from a different frequency state)
+// preserves the cross-leg ratios the tracked geomeans are built from.
+// Alloc counts are taken from a separate counted window per leg (they
+// are deterministic; order statistics are meaningless for them).
+func benchKernel(k workloads.IRKernel) (map[string]entry, error) {
+	const (
+		rounds    = 15
+		targetRun = 2 * time.Millisecond
+	)
+	type state struct {
+		call    func() error
+		iters   int
+		samples []int64 // ns/op, one per round
+	}
+	sts := make([]*state, len(interpLegs))
+	for i, leg := range interpLegs {
 		m := k.Build()
-		if optimize {
+		if leg.optimize {
 			if _, err := passes.Optimize(m); err != nil {
-				b.Fatal(err)
+				return nil, fmt.Errorf("%s/%s: %w", k.Name, leg.name, err)
 			}
 		}
 		ip, err := interp.New(m)
 		if err != nil {
-			b.Fatal(err)
+			return nil, fmt.Errorf("%s/%s: %w", k.Name, leg.name, err)
 		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		if !leg.fused {
+			ip.Fusion = interp.NoFusion()
+		}
+		ref := leg.reference
+		call := func() error {
 			// MaxSteps bounds cumulative steps across Calls, so the
 			// counters reset each iteration.
 			ip.Stats = interp.Stats{}
 			var err error
-			if reference {
+			if ref {
 				_, err = ip.ReferenceCall(k.Entry)
 			} else {
 				_, err = ip.Call(k.Entry)
 			}
-			if err != nil {
-				b.Fatal(err)
-			}
+			return err
 		}
-	})
-	return entry{
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
+		// First call warms the program cache (Compile); the second,
+		// timed alone, calibrates the per-round iteration count.
+		if err := call(); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", k.Name, leg.name, err)
+		}
+		t0 := time.Now()
+		if err := call(); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", k.Name, leg.name, err)
+		}
+		iters := int(targetRun / (time.Since(t0) + 1))
+		if iters < 1 {
+			iters = 1
+		}
+		if iters > 8 {
+			iters = 8
+		}
+		sts[i] = &state{call: call, iters: iters}
 	}
+	for r := 0; r < rounds; r++ {
+		for _, s := range sts {
+			t0 := time.Now()
+			for j := 0; j < s.iters; j++ {
+				if err := s.call(); err != nil {
+					return nil, fmt.Errorf("%s: %w", k.Name, err)
+				}
+			}
+			s.samples = append(s.samples, time.Since(t0).Nanoseconds()/int64(s.iters))
+		}
+	}
+	out := make(map[string]entry, len(interpLegs))
+	for i, leg := range interpLegs {
+		allocs, bytes, err := measureAllocs(sts[i].call)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", k.Name, leg.name, err)
+		}
+		s := sts[i].samples
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		out[leg.name] = entry{NsPerOp: s[len(s)/2], AllocsPerOp: allocs, BytesPerOp: bytes}
+	}
+	return out, nil
+}
+
+// measureAllocs reports per-call heap allocations the way
+// testing.B.ReportAllocs does: a MemStats delta over a counted window.
+func measureAllocs(call func() error) (allocs, bytes int64, err error) {
+	const n = 8
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		if err := call(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return int64(m1.Mallocs-m0.Mallocs) / n, int64(m1.TotalAlloc-m0.TotalAlloc) / n, nil
 }
 
 // quickCheck runs each kernel once per engine and requires bit-identical
@@ -94,7 +188,7 @@ func benchKernel(k workloads.IRKernel, reference, optimize bool) entry {
 // `make check`, with no timing thresholds.
 func quickCheck() error {
 	for _, k := range workloads.CARATSuite() {
-		run := func(reference, optimize bool) (uint64, interp.Stats, interface{}, error) {
+		run := func(reference, optimize, fused bool) (uint64, interp.Stats, interface{}, error) {
 			m := k.Build()
 			if optimize {
 				if _, err := passes.Optimize(m); err != nil {
@@ -105,6 +199,9 @@ func quickCheck() error {
 			if err != nil {
 				return 0, interp.Stats{}, nil, err
 			}
+			if !fused {
+				ip.Fusion = interp.NoFusion()
+			}
 			var ret uint64
 			if reference {
 				ret, err = ip.ReferenceCall(k.Entry)
@@ -113,8 +210,8 @@ func quickCheck() error {
 			}
 			return ret, ip.Stats, ip.Heap.Snapshot(), err
 		}
-		fr, fs, fh, ferr := run(false, false)
-		rr, rs, rh, rerr := run(true, false)
+		fr, fs, fh, ferr := run(false, false, false)
+		rr, rs, rh, rerr := run(true, false, false)
 		if ferr != nil || rerr != nil {
 			return fmt.Errorf("%s: fast err %v, reference err %v", k.Name, ferr, rerr)
 		}
@@ -124,10 +221,20 @@ func quickCheck() error {
 		if k.Want != 0 && fr != k.Want {
 			return fmt.Errorf("%s: checksum %d, want %d", k.Name, fr, k.Want)
 		}
+		// The fused fast path must reproduce the reference run exactly:
+		// same return, same Stats (steps, cycles, every counter), same
+		// final heap.
+		ur, us, uh, uerr := run(false, false, true)
+		if uerr != nil {
+			return fmt.Errorf("%s: fused err %v", k.Name, uerr)
+		}
+		if ur != rr || us != rs || !reflect.DeepEqual(uh, rh) {
+			return fmt.Errorf("%s: fused engine diverges (ret %d vs %d)", k.Name, ur, rr)
+		}
 		// The optimized module must stay bit-identical across engines
 		// and preserve the pristine checksum.
-		ofr, ofs, ofh, oferr := run(false, true)
-		orr, ors, orh, orerr := run(true, true)
+		ofr, ofs, ofh, oferr := run(false, true, false)
+		orr, ors, orh, orerr := run(true, true, false)
 		if oferr != nil || orerr != nil {
 			return fmt.Errorf("%s: optimized fast err %v, reference err %v", k.Name, oferr, orerr)
 		}
@@ -137,7 +244,14 @@ func quickCheck() error {
 		if ofr != fr {
 			return fmt.Errorf("%s: optimizer changed checksum %d -> %d", k.Name, fr, ofr)
 		}
-		fmt.Printf("ok  %-14s ret=%d steps=%d cycles=%d opt-cycles=%d\n",
+		oufr, oufs, oufh, ouferr := run(false, true, true)
+		if ouferr != nil {
+			return fmt.Errorf("%s: opt-fused err %v", k.Name, ouferr)
+		}
+		if oufr != orr || oufs != ors || !reflect.DeepEqual(oufh, orh) {
+			return fmt.Errorf("%s: opt-fused engine diverges (ret %d vs %d)", k.Name, oufr, orr)
+		}
+		fmt.Printf("ok  %-14s ret=%d steps=%d cycles=%d opt-cycles=%d (fused verified)\n",
 			k.Name, fr, fs.Steps, fs.Cycles, ofs.Cycles)
 	}
 	return nil
@@ -218,6 +332,8 @@ func main() {
 		Fast:      make(map[string]entry),
 		Reference: make(map[string]entry),
 		Opt:       make(map[string]entry),
+		Fused:     make(map[string]entry),
+		OptFused:  make(map[string]entry),
 		Note:      "ns_per_op are machine-dependent; the tracked claims are the geomeans and fast-path allocs_per_op",
 	}
 	// Carry the pinned seed baseline forward from an existing file.
@@ -232,20 +348,29 @@ func main() {
 	names := make([]string, 0)
 	for _, k := range workloads.CARATSuite() {
 		names = append(names, k.Name)
-		fmt.Printf("bench %-14s fast...", k.Name)
-		rep.Fast[k.Name] = benchKernel(k, false, false)
-		fmt.Printf(" %8d ns/op %2d allocs/op   reference...",
-			rep.Fast[k.Name].NsPerOp, rep.Fast[k.Name].AllocsPerOp)
-		rep.Reference[k.Name] = benchKernel(k, true, false)
-		fmt.Printf(" %8d ns/op   opt...", rep.Reference[k.Name].NsPerOp)
-		rep.Opt[k.Name] = benchKernel(k, false, true)
-		fmt.Printf(" %8d ns/op\n", rep.Opt[k.Name].NsPerOp)
+		res, err := benchKernel(k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		rep.Fast[k.Name] = res["fast"]
+		rep.Reference[k.Name] = res["reference"]
+		rep.Opt[k.Name] = res["opt"]
+		rep.Fused[k.Name] = res["fused"]
+		rep.OptFused[k.Name] = res["opt_fused"]
+		fmt.Printf("bench %-14s fast %8d ns/op %2d allocs/op   reference %8d   opt %8d   fused %8d ns/op %2d allocs/op   opt+fused %8d\n",
+			k.Name, res["fast"].NsPerOp, res["fast"].AllocsPerOp,
+			res["reference"].NsPerOp, res["opt"].NsPerOp,
+			res["fused"].NsPerOp, res["fused"].AllocsPerOp, res["opt_fused"].NsPerOp)
 	}
 	sort.Strings(names)
 
 	rep.GeomeanSpeedupVsRef = round2(geomean(rep.Reference, rep.Fast))
 	rep.GeomeanSpeedupOpt = round2(geomean(rep.Fast, rep.Opt))
-	fmt.Printf("geomean speedup opt vs fast: %.2fx\n", rep.GeomeanSpeedupOpt)
+	rep.GeomeanSpeedupFused = round2(geomean(rep.Fast, rep.Fused))
+	rep.GeomeanSpeedupOptFus = round2(geomean(rep.Fast, rep.OptFused))
+	fmt.Printf("geomean speedup opt vs fast: %.2fx, fused vs fast: %.2fx, opt+fused vs fast: %.2fx\n",
+		rep.GeomeanSpeedupOpt, rep.GeomeanSpeedupFused, rep.GeomeanSpeedupOptFus)
 	if len(rep.Seed) > 0 {
 		rep.GeomeanSpeedupVsSeed = round2(geomean(rep.Seed, rep.Fast))
 		fmt.Printf("geomean speedup vs seed: %.2fx, vs reference engine: %.2fx\n",

@@ -6,7 +6,8 @@
 //	detvet DIR...
 //
 // With no arguments it vets the deterministic core of this repository:
-// internal/sim, internal/machine, internal/heartbeat, internal/exp.
+// internal/sim, internal/machine, internal/heartbeat, internal/exp,
+// internal/interp.
 package main
 
 import (
@@ -23,6 +24,10 @@ var defaultDirs = []string{
 	"internal/machine",
 	"internal/heartbeat",
 	"internal/exp",
+	// The interpreter's compiled engine must be reproducible too: the
+	// fusion stage and both executors may not depend on map order, the
+	// wall clock, or global randomness (bit-identical engines contract).
+	"internal/interp",
 }
 
 func main() {

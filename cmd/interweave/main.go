@@ -62,6 +62,9 @@ func main() {
 	if cmd == "lint" {
 		os.Exit(runLint(os.Args[2:]))
 	}
+	if cmd == "interp" {
+		os.Exit(runInterp(os.Args[2:]))
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	overheads := fs.Bool("overheads", false, "fig3: also print scheduling overheads")
 	granularity := fs.Bool("granularity", false, "fig4: also print granularity floors")
@@ -272,10 +275,12 @@ func runLint(argv []string) int {
 Lints IR modules with the internal/analysis memory-safety checker:
 use-before-def, dead stores, use-after-free, double-free, leaks,
 unreachable blocks. -opt adds optimizer-opportunity diagnostics
-(redundant-copy, loop-invariant-recompute, partially-dead-store); -O
-optimizes the module first, so "-opt -O" reports nothing by
-construction. A pattern is a module name, or a prefix ending in
-"..." (e.g. kernels/...). Default patterns: examples/... kernels/...
+(redundant-copy, loop-invariant-recompute, partially-dead-store) plus
+fusible-pair superinstruction opportunities; -O optimizes the module
+first, so "-opt -O" reports nothing by construction (fusible pairs,
+which no pass removes, are excluded under -O). A pattern is a module
+name, or a prefix ending in "..." (e.g. kernels/...). Default
+patterns: examples/... kernels/...
 Seeded demonstration bugs live under buggy/...`)
 	}
 	_ = fs.Parse(argv)
@@ -321,6 +326,12 @@ Seeded demonstration bugs live under buggy/...`)
 		diags := analysis.Lint(t.Mod, t.Extern)
 		if *opt {
 			diags = append(diags, analysis.LintOpt(t.Mod)...)
+			// Fusible-pair opportunities are engine facts, not pipeline
+			// debt: no IR pass removes them, so they are excluded from
+			// the `-opt -O` lockstep gate (which must stay silent).
+			if !*optimize {
+				diags = append(diags, analysis.LintFusible(t.Mod)...)
+			}
 		}
 		total += len(diags)
 		for _, d := range diags {
@@ -375,6 +386,8 @@ experiments:
 tools:
   lint        static memory-safety linter over the IR modules
               (interweave lint -h for details)
+  interp      interpreter engine summary and opcode-pair profiling
+              (interweave interp -h for details)
 
 flags:
   -parallel N  max concurrent experiment cells; 0 (default) uses

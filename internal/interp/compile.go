@@ -8,17 +8,26 @@ import (
 
 // This file is the interpreter's "compile" step: it flattens each IR
 // function into a contiguous array of pre-decoded instructions. The
-// flattening does three things the tree-walking reference engine pays
+// flattening does four things the tree-walking reference engine pays
 // for on every executed instruction:
 //
 //   - branch targets become absolute PCs (no *Block chasing),
 //   - the cycle cost of each op is folded in from the CostTable,
+//   - hot adjacent pairs (compare+branch, load+ALU, ALU+load/store,
+//     guard+load/store, load+load, store+ALU, ALU+jmp backedges,
+//     isolated ALU chains) are fused into single superinstructions
+//     with their own dispatch arms in exec.go,
 //   - maximal straight-line runs of pure ALU ops are annotated with
 //     their length and total cost, so the executor can account a whole
 //     run with two additions and then execute values only.
 //
-// A Program snapshots one (module generation, cost table) pair;
-// Interp.ensureProg recompiles when either changes.
+// Fusion runs before run annotation, so runs never include a fused
+// slot; the shared selection policy (ir.EachFusiblePair) only fuses a
+// pure-ALU pair when it is isolated, so fusion never splits a longer
+// run the batcher would dispatch more cheaply.
+//
+// A Program snapshots one (module generation, cost table, fusion
+// table) triple; Interp.ensureProg recompiles when any of them change.
 
 // opFellOff is a synthetic opcode placed in the reserved trap slot of a
 // block that lacks a terminator (see ir.Layout). Executing it reproduces
@@ -35,25 +44,55 @@ const noPC = int32(-2)
 // target) live in a side table on cfunc, indexed by imm — calls are
 // rare relative to ALU/memory traffic.
 type cinstr struct {
-	op     int32 // ir.Op, or opFellOff
+	op     int32 // ir.Op, opFellOff, or a fused opFused* opcode
 	dst    int32 // register indexes; -1 = ir.NoReg
 	a, b   int32
-	pred   uint8 // ir.Pred for icmp/fcmp
+	pred   uint8 // ir.Pred for icmp/fcmp (first constituent when fused)
 	region bool
-	_      [2]byte
+	pred2  uint8 // fused pairs: ir.Pred of the second constituent
+	aux    uint8 // fused pairs: the ir.Op of the pair's ALU constituent
 	// runLen/runCost: when this instruction is run-eligible (a pure
 	// ALU op), the number of consecutive run-eligible instructions
 	// from here to the end of the run, and their total cycle cost.
 	// Computed as suffix sums so execution may also enter mid-run.
+	// Fused slots are never run-eligible; their runCost field is
+	// repurposed as the second constituent's immediate (imm2).
 	runLen  int32
 	imm     int64 // immediate; Float64bits(FImm) for fconst; call index for call
-	cost    int64 // folded cycle cost of this op
+	cost    int64 // folded cycle cost of this op (both constituents when fused)
 	runCost int64
-	target  int32 // OpBr taken / OpJmp target, as absolute PC
-	els     int32 // OpBr fall-through, as absolute PC
+	target  int32 // OpBr taken / OpJmp target, as absolute PC; fused: a2
+	els     int32 // OpBr fall-through, as absolute PC; fused: b2
 	blk     int32 // index into cfunc.blocks (diagnostics)
-	_       int32
+	dst2    int32 // fused pairs: destination of the second constituent
 }
+
+// Fused-pair field aliases. A fused slot is never a branch and never
+// run-eligible, so the branch-target and run-cost fields are free to
+// carry the second constituent's operands; the whole pair then fits in
+// the one 64-byte line the dispatch loop already touches. The original
+// second slot (pc+1) stays intact for the step-budget fallback path.
+func (c *cinstr) a2() int32   { return c.target }
+func (c *cinstr) b2() int32   { return c.els }
+func (c *cinstr) imm2() int64 { return c.runCost }
+
+// Fused superinstruction opcodes, allocated above the ir opcode space
+// (consecutively, to keep the dispatch switch dense). The comparison
+// `op >= opFusedBase` routes dispatch to the fused arms.
+const (
+	opFusedBase int32 = int32(ir.NumOps) + iota
+	opFusedICmpBr
+	opFusedFCmpBr
+	opFusedLoadALU
+	opFusedALULoad
+	opFusedALUStore
+	opFusedGuardLoad
+	opFusedGuardStore
+	opFusedALUALU
+	opFusedLoadLoad
+	opFusedStoreALU
+	opFusedALUJmp
+)
 
 // ccall is the side-table entry for one OpCall site.
 type ccall struct {
@@ -70,13 +109,15 @@ type cfunc struct {
 	code      []cinstr
 	calls     []ccall
 	blocks    []*ir.Block // layout order, for diagnostics
+	fused     int         // superinstruction pairs formed by the fusion stage
 }
 
 // Program is a compiled module: every function flattened, valid for one
-// module generation and one cost table.
+// module generation, one cost table, and one fusion table.
 type Program struct {
 	gen   uint64
 	cost  CostTable
+	fsig  uint64
 	funcs map[string]*cfunc
 }
 
@@ -86,17 +127,38 @@ func (p *Program) Gen() uint64 { return p.gen }
 // Func returns the compiled form of the named function (tests).
 func (p *Program) Func(name string) *cfunc { return p.funcs[name] }
 
-// Compile flattens every function of mod against the given cost table.
-// It only reads the module, so concurrent compiles of a shared,
-// quiescent module are safe.
-func Compile(mod *ir.Module, cost CostTable) *Program {
-	p := &Program{gen: mod.Gen(), cost: cost, funcs: make(map[string]*cfunc, len(mod.Funcs))}
-	for name, f := range mod.Funcs {
-		p.funcs[name] = compileFunc(f, cost)
+// FusedPairs returns the total superinstruction pairs the fusion stage
+// formed across all functions (benchmark and lockstep reporting).
+func (p *Program) FusedPairs() int {
+	total := 0
+	for _, cf := range p.funcs { // detvet:ok — order-independent sum
+		total += cf.fused
+	}
+	return total
+}
+
+// FusedPairsIn returns the fused-pair count of one function.
+func (p *Program) FusedPairsIn(name string) int {
+	if cf := p.funcs[name]; cf != nil {
+		return cf.fused
+	}
+	return 0
+}
+
+// Compile flattens every function of mod against the given cost table,
+// fusing the adjacent pairs fuse allows (nil = the static default
+// heuristic, every structural pattern; NoFusion() disables fusion). It
+// only reads the module, so concurrent compiles of a shared, quiescent
+// module are safe.
+func Compile(mod *ir.Module, cost CostTable, fuse *FusionTable) *Program {
+	p := &Program{gen: mod.Gen(), cost: cost, fsig: fuse.Sig(),
+		funcs: make(map[string]*cfunc, len(mod.Funcs))}
+	for name, f := range mod.Funcs { // detvet:ok — map fill, order-independent
+		p.funcs[name] = compileFunc(f, cost, fuse)
 	}
 	// Resolve calls to in-module functions now so the executor does no
 	// map lookups; a nil calleeF means extern.
-	for _, cf := range p.funcs {
+	for _, cf := range p.funcs { // detvet:ok — pointer patching, order-independent
 		for i := range cf.calls {
 			c := &cf.calls[i]
 			c.calleeF = p.funcs[c.callee]
@@ -106,19 +168,11 @@ func Compile(mod *ir.Module, cost CostTable) *Program {
 }
 
 // runnable reports whether op may be batched into a straight-line ALU
-// run: pure register-to-register ops that cannot fault, touch memory,
-// invoke hooks, or transfer control. Div/Rem are excluded (divide by
-// zero faults mid-run).
+// run (ir.PureALU: pure register-to-register ops that cannot fault,
+// touch memory, invoke hooks, or transfer control). Fused opcodes are
+// not runnable: a fused arm does its own batched accounting.
 func runnable(op ir.Op) bool {
-	switch op {
-	case ir.OpConst, ir.OpFConst, ir.OpMov,
-		ir.OpAdd, ir.OpSub, ir.OpMul,
-		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
-		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
-		ir.OpICmp, ir.OpFCmp:
-		return true
-	}
-	return false
+	return int(op) < ir.NumOps && ir.PureALU(op)
 }
 
 // costOf folds the cost table into a per-op cycle cost. Interweaving
@@ -158,7 +212,84 @@ func costOf(op ir.Op, c CostTable) int64 {
 	return 0
 }
 
-func compileFunc(f *ir.Function, cost CostTable) *cfunc {
+// fusePair rewrites the slot at pc into the fused superinstruction for
+// pattern k, pulling the second constituent's operands out of the
+// (already encoded) slot at pc+1. That second slot stays intact: normal
+// control flow never reaches it — branch targets resolve only to block
+// starts — but the step-budget fallback falls through to it after
+// executing the first constituent singly.
+func fusePair(cf *cfunc, pc int, k ir.FuseKind) {
+	s1 := &cf.code[pc]
+	s2 := &cf.code[pc+1]
+	switch k {
+	case ir.FuseCmpBr:
+		if ir.Op(s1.op) == ir.OpICmp {
+			s1.op = opFusedICmpBr
+		} else {
+			s1.op = opFusedFCmpBr
+		}
+		s1.target, s1.els = s2.target, s2.els
+	case ir.FuseLoadALU:
+		s1.op = opFusedLoadALU
+		s1.aux = uint8(s2.op)
+		s1.pred2 = s2.pred
+		s1.dst2 = s2.dst
+		s1.target, s1.els = s2.a, s2.b // a2, b2
+		// The ALU constituent reads the load's result, so it is never a
+		// const and needs no immediate; the imm2 slot carries its cost so
+		// the arm can charge the load before the MemAccess hook observes
+		// Stats and the ALU after, matching the reference order.
+		s1.runCost = s2.cost
+	case ir.FuseALULoad:
+		s1.aux = uint8(s1.op)
+		s1.op = opFusedALULoad
+		s1.dst2 = s2.dst
+		s1.target = s2.a    // a2
+		s1.runCost = s2.imm // imm2
+	case ir.FuseALUStore:
+		s1.aux = uint8(s1.op)
+		s1.op = opFusedALUStore
+		s1.target, s1.els = s2.a, s2.b // a2, b2
+		s1.runCost = s2.imm            // imm2
+	case ir.FuseGuardLoad:
+		s1.op = opFusedGuardLoad
+		s1.dst2 = s2.dst
+		s1.target = s2.a    // a2
+		s1.runCost = s2.imm // imm2
+	case ir.FuseGuardStore:
+		s1.op = opFusedGuardStore
+		s1.target, s1.els = s2.a, s2.b // a2, b2
+		s1.runCost = s2.imm            // imm2
+	case ir.FuseALUALU:
+		// Both constituents are pure ALU; the second's operands are read
+		// live from the intact slot at pc+1, so only the first's opcode
+		// needs saving.
+		s1.aux = uint8(s1.op)
+		s1.op = opFusedALUALU
+	case ir.FuseLoadLoad:
+		s1.op = opFusedLoadLoad
+		s1.dst2 = s2.dst
+		s1.target = s2.a    // a2
+		s1.runCost = s2.imm // imm2
+	case ir.FuseStoreALU:
+		// The ALU constituent is never a const (pattern excludes them),
+		// so imm2 is free to carry its cost for the hook-parity split.
+		s1.op = opFusedStoreALU
+		s1.aux = uint8(s2.op)
+		s1.pred2 = s2.pred
+		s1.dst2 = s2.dst
+		s1.target, s1.els = s2.a, s2.b // a2, b2
+		s1.runCost = s2.cost
+	case ir.FuseALUJmp:
+		s1.aux = uint8(s1.op)
+		s1.op = opFusedALUJmp
+		s1.target = s2.target
+	}
+	s1.cost += s2.cost
+	cf.fused++
+}
+
+func compileFunc(f *ir.Function, cost CostTable, fuse *FusionTable) *cfunc {
 	l := f.Layout()
 	cf := &cfunc{
 		name:      f.Name,
@@ -207,6 +338,22 @@ func compileFunc(f *ir.Function, cost CostTable) *cfunc {
 		if tp := l.TrapPC(bi); tp >= 0 {
 			cf.code[tp] = cinstr{op: int32(opFellOff), blk: int32(bi)}
 		}
+	}
+	// Fusion stage: collapse the selected adjacent pairs into
+	// superinstructions, greedily per block (ir.EachFusiblePair is the
+	// shared selection policy — analysis.LintFusible walks the same
+	// pairs). Must run before run annotation: fused slots are not
+	// run-eligible, and the policy keeps pure-ALU fusion out of longer
+	// runs, so annotation over the fused code stays optimal.
+	var allow func(a, b ir.Op) bool
+	if fuse != nil {
+		allow = fuse.Allows
+	}
+	for bi, b := range l.Blocks {
+		start := l.Start[bi]
+		ir.EachFusiblePair(b, allow, func(i int, k ir.FuseKind) {
+			fusePair(cf, start+i, k)
+		})
 	}
 	// Annotate straight-line ALU runs with suffix lengths and costs.
 	// Runs never cross a block boundary: every block span ends in a

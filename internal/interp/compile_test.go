@@ -8,7 +8,7 @@ import (
 
 func TestCompilePCResolution(t *testing.T) {
 	m := sumModule()
-	p := Compile(m, DefaultCosts())
+	p := Compile(m, DefaultCosts(), nil)
 	cf := p.funcs["sum"]
 	if cf == nil {
 		t.Fatal("sum not compiled")
@@ -55,7 +55,9 @@ func TestCompileRunAnnotation(t *testing.T) {
 	b.Ret(s)
 
 	cost := DefaultCosts()
-	p := Compile(m, cost)
+	// NoFusion: this test pins the run annotation itself (the default
+	// heuristic would fuse the add+store pair and shorten the run).
+	p := Compile(m, cost, NoFusion())
 	cf := p.funcs["runs"]
 	wantLen := []int32{3, 2, 1, 0, 0}
 	for i, w := range wantLen {

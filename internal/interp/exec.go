@@ -96,6 +96,84 @@ func (ip *Interp) execFn(cf *cfunc, args []uint64, depth int) (uint64, error) {
 	return ret, err
 }
 
+// aluHot and aluHot2 together evaluate the pure-ALU ops that dominate
+// fused pairs in the kernel suite (add/mov addressing, float
+// accumulate/scale, index mul/xor/shift mixing). They are split in two
+// because each must stay under the compiler's inlining budget on its
+// own — chained at the call site (`aluHot || aluHot2 || aluEval`), both
+// inline into the fused dispatch arms, so the eight ops of the fusion
+// policy's inline set (ir/fusion.go) execute with no call overhead;
+// everything else falls back to the complete, non-inlined aluEval.
+// None of these ops read pred or imm.
+func aluHot(op ir.Op, a, b int32, regs []uint64) (uint64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return regs[a] + regs[b], true
+	case ir.OpMov:
+		return regs[a], true
+	case ir.OpFAdd:
+		return math.Float64bits(math.Float64frombits(regs[a]) + math.Float64frombits(regs[b])), true
+	case ir.OpFMul:
+		return math.Float64bits(math.Float64frombits(regs[a]) * math.Float64frombits(regs[b])), true
+	}
+	return 0, false
+}
+
+func aluHot2(op ir.Op, a, b int32, regs []uint64) (uint64, bool) {
+	switch op {
+	case ir.OpSub:
+		return regs[a] - regs[b], true
+	case ir.OpMul:
+		return uint64(int64(regs[a]) * int64(regs[b])), true
+	case ir.OpXor:
+		return regs[a] ^ regs[b], true
+	case ir.OpShr:
+		return regs[a] >> (regs[b] & 63), true
+	}
+	return 0, false
+}
+
+// aluEval executes one pure-ALU constituent of a fused superinstruction,
+// mirroring the single-op dispatch arms bit for bit. Const/FConst never
+// index regs (their operands are NoReg = -1).
+func aluEval(op ir.Op, pred uint8, a, b int32, imm int64, regs []uint64) uint64 {
+	switch op {
+	case ir.OpConst, ir.OpFConst:
+		return uint64(imm)
+	case ir.OpMov:
+		return regs[a]
+	case ir.OpAdd:
+		return regs[a] + regs[b]
+	case ir.OpSub:
+		return regs[a] - regs[b]
+	case ir.OpMul:
+		return uint64(int64(regs[a]) * int64(regs[b]))
+	case ir.OpAnd:
+		return regs[a] & regs[b]
+	case ir.OpOr:
+		return regs[a] | regs[b]
+	case ir.OpXor:
+		return regs[a] ^ regs[b]
+	case ir.OpShl:
+		return regs[a] << (regs[b] & 63)
+	case ir.OpShr:
+		return regs[a] >> (regs[b] & 63)
+	case ir.OpFAdd:
+		return math.Float64bits(math.Float64frombits(regs[a]) + math.Float64frombits(regs[b]))
+	case ir.OpFSub:
+		return math.Float64bits(math.Float64frombits(regs[a]) - math.Float64frombits(regs[b]))
+	case ir.OpFMul:
+		return math.Float64bits(math.Float64frombits(regs[a]) * math.Float64frombits(regs[b]))
+	case ir.OpFDiv:
+		return math.Float64bits(math.Float64frombits(regs[a]) / math.Float64frombits(regs[b]))
+	case ir.OpICmp:
+		return boolToU64(icmp(ir.Pred(pred), int64(regs[a]), int64(regs[b])))
+	case ir.OpFCmp:
+		return boolToU64(fcmp(ir.Pred(pred), math.Float64frombits(regs[a]), math.Float64frombits(regs[b])))
+	}
+	return 0
+}
+
 func (ip *Interp) exec(cf *cfunc, regs []uint64, depth int) (uint64, error) {
 	st := &ip.Stats
 	heap := ip.Heap
@@ -158,6 +236,236 @@ func (ip *Interp) exec(cf *cfunc, regs []uint64, depth int) (uint64, error) {
 			// Detected before the step counter moves, like the
 			// reference's bounds check.
 			return 0, fmt.Errorf("interp: fell off block %s.%s", cf.name, cf.blocks[in.blk].Name)
+		}
+		if in.op >= opFusedBase {
+			// Fused superinstruction: two constituent instructions in
+			// one dispatch with one step-limit check. in.cost folds
+			// both constituents; arms whose second constituent follows
+			// a mem hook split the charge around it (the slot's spare
+			// runCost field carries the split) so a hook closure that
+			// reads Stats.Cycles observes the reference's value.
+			if st.Steps+2 > maxSteps {
+				// The pair does not fit under the step budget: execute
+				// the first constituent singly — increment, check, run —
+				// then fall through to the intact second slot at pc+1,
+				// whose own check fires the limit. ErrStepLimit thus
+				// lands on exactly the same instruction, with the same
+				// Stats, as the reference engine's per-step walk.
+				st.Steps++
+				if st.Steps > maxSteps {
+					return 0, ip.stepLimitErr()
+				}
+				switch in.op {
+				case opFusedICmpBr:
+					regs[in.dst] = boolToU64(icmp(ir.Pred(in.pred), int64(regs[in.a]), int64(regs[in.b])))
+					st.Cycles += costOf(ir.OpICmp, ip.prog.cost)
+				case opFusedFCmpBr:
+					regs[in.dst] = boolToU64(fcmp(ir.Pred(in.pred), math.Float64frombits(regs[in.a]), math.Float64frombits(regs[in.b])))
+					st.Cycles += costOf(ir.OpFCmp, ip.prog.cost)
+				case opFusedLoadALU, opFusedLoadLoad:
+					addr := mem.Addr(int64(regs[in.a]) + in.imm)
+					st.Loads++
+					st.Cycles += costOf(ir.OpLoad, ip.prog.cost)
+					if memHook != nil {
+						st.Cycles += memHook(addr, false)
+					}
+					regs[in.dst] = heap.Load(addr)
+				case opFusedStoreALU:
+					addr := mem.Addr(int64(regs[in.a]) + in.imm)
+					st.Stores++
+					st.Cycles += costOf(ir.OpStore, ip.prog.cost)
+					if memHook != nil {
+						st.Cycles += memHook(addr, true)
+					}
+					heap.Store(addr, regs[in.b])
+				case opFusedALULoad, opFusedALUStore, opFusedALUALU, opFusedALUJmp:
+					regs[in.dst] = aluEval(ir.Op(in.aux), in.pred, in.a, in.b, in.imm, regs)
+					st.Cycles += costOf(ir.Op(in.aux), ip.prog.cost)
+				case opFusedGuardLoad, opFusedGuardStore:
+					// Fused guards are always the non-region form.
+					st.Guards++
+					if ip.Hooks.Guard != nil {
+						c := ip.Hooks.Guard(mem.Addr(int64(regs[in.a]) + in.imm))
+						st.Cycles += c
+						st.GuardCycles += c
+					}
+				}
+				pc++
+				continue
+			}
+			st.Steps += 2
+			switch in.op {
+			case opFusedICmpBr:
+				st.Cycles += in.cost
+				v := icmp(ir.Pred(in.pred), int64(regs[in.a]), int64(regs[in.b]))
+				regs[in.dst] = boolToU64(v)
+				if v {
+					pc = int(in.target)
+				} else {
+					pc = int(in.els)
+				}
+				if pc < 0 {
+					return 0, fmt.Errorf("interp: branch to foreign block in %s", cf.name)
+				}
+				continue
+			case opFusedFCmpBr:
+				st.Cycles += in.cost
+				v := fcmp(ir.Pred(in.pred), math.Float64frombits(regs[in.a]), math.Float64frombits(regs[in.b]))
+				regs[in.dst] = boolToU64(v)
+				if v {
+					pc = int(in.target)
+				} else {
+					pc = int(in.els)
+				}
+				if pc < 0 {
+					return 0, fmt.Errorf("interp: branch to foreign block in %s", cf.name)
+				}
+				continue
+			case opFusedLoadALU:
+				addr := mem.Addr(int64(regs[in.a]) + in.imm)
+				st.Loads++
+				// Split the combined charge around the hook: the ALU
+				// constituent's cost (in.runCost) lands after, so a hook
+				// closure reading Stats.Cycles sees the reference's value.
+				st.Cycles += in.cost - in.runCost
+				if memHook != nil {
+					st.Cycles += memHook(addr, false)
+				}
+				regs[in.dst] = heap.Load(addr)
+				if v, ok := aluHot(ir.Op(in.aux), in.a2(), in.b2(), regs); ok {
+					regs[in.dst2] = v
+				} else if v, ok := aluHot2(ir.Op(in.aux), in.a2(), in.b2(), regs); ok {
+					regs[in.dst2] = v
+				} else {
+					regs[in.dst2] = aluEval(ir.Op(in.aux), in.pred2, in.a2(), in.b2(), 0, regs)
+				}
+				st.Cycles += in.runCost
+			case opFusedALULoad:
+				if v, ok := aluHot(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else if v, ok := aluHot2(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else {
+					regs[in.dst] = aluEval(ir.Op(in.aux), in.pred, in.a, in.b, in.imm, regs)
+				}
+				addr := mem.Addr(int64(regs[in.a2()]) + in.imm2())
+				st.Loads++
+				st.Cycles += in.cost
+				if memHook != nil {
+					st.Cycles += memHook(addr, false)
+				}
+				regs[in.dst2] = heap.Load(addr)
+			case opFusedALUStore:
+				if v, ok := aluHot(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else if v, ok := aluHot2(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else {
+					regs[in.dst] = aluEval(ir.Op(in.aux), in.pred, in.a, in.b, in.imm, regs)
+				}
+				addr := mem.Addr(int64(regs[in.a2()]) + in.imm2())
+				st.Stores++
+				st.Cycles += in.cost
+				if memHook != nil {
+					st.Cycles += memHook(addr, true)
+				}
+				heap.Store(addr, regs[in.b2()])
+			case opFusedGuardLoad:
+				st.Guards++
+				if ip.Hooks.Guard != nil {
+					c := ip.Hooks.Guard(mem.Addr(int64(regs[in.a]) + in.imm))
+					st.Cycles += c
+					st.GuardCycles += c
+				}
+				addr := mem.Addr(int64(regs[in.a2()]) + in.imm2())
+				st.Loads++
+				st.Cycles += in.cost
+				if memHook != nil {
+					st.Cycles += memHook(addr, false)
+				}
+				regs[in.dst2] = heap.Load(addr)
+			case opFusedGuardStore:
+				st.Guards++
+				if ip.Hooks.Guard != nil {
+					c := ip.Hooks.Guard(mem.Addr(int64(regs[in.a]) + in.imm))
+					st.Cycles += c
+					st.GuardCycles += c
+				}
+				addr := mem.Addr(int64(regs[in.a2()]) + in.imm2())
+				st.Stores++
+				st.Cycles += in.cost
+				if memHook != nil {
+					st.Cycles += memHook(addr, true)
+				}
+				heap.Store(addr, regs[in.b2()])
+			case opFusedALUALU:
+				st.Cycles += in.cost
+				if v, ok := aluHot(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else if v, ok := aluHot2(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else {
+					regs[in.dst] = aluEval(ir.Op(in.aux), in.pred, in.a, in.b, in.imm, regs)
+				}
+				s2 := &code[pc+1]
+				if v, ok := aluHot(ir.Op(s2.op), s2.a, s2.b, regs); ok {
+					regs[s2.dst] = v
+				} else if v, ok := aluHot2(ir.Op(s2.op), s2.a, s2.b, regs); ok {
+					regs[s2.dst] = v
+				} else {
+					regs[s2.dst] = aluEval(ir.Op(s2.op), s2.pred, s2.a, s2.b, s2.imm, regs)
+				}
+			case opFusedLoadLoad:
+				addr := mem.Addr(int64(regs[in.a]) + in.imm)
+				st.Loads++
+				// Both constituents are loads, so the halves of the
+				// combined charge are exact; splitting them around the
+				// hooks preserves the reference's observable Cycles.
+				st.Cycles += in.cost / 2
+				if memHook != nil {
+					st.Cycles += memHook(addr, false)
+				}
+				regs[in.dst] = heap.Load(addr)
+				addr2 := mem.Addr(int64(regs[in.a2()]) + in.imm2())
+				st.Loads++
+				st.Cycles += in.cost - in.cost/2
+				if memHook != nil {
+					st.Cycles += memHook(addr2, false)
+				}
+				regs[in.dst2] = heap.Load(addr2)
+			case opFusedStoreALU:
+				addr := mem.Addr(int64(regs[in.a]) + in.imm)
+				st.Stores++
+				st.Cycles += in.cost - in.runCost
+				if memHook != nil {
+					st.Cycles += memHook(addr, true)
+				}
+				heap.Store(addr, regs[in.b])
+				if v, ok := aluHot(ir.Op(in.aux), in.a2(), in.b2(), regs); ok {
+					regs[in.dst2] = v
+				} else if v, ok := aluHot2(ir.Op(in.aux), in.a2(), in.b2(), regs); ok {
+					regs[in.dst2] = v
+				} else {
+					regs[in.dst2] = aluEval(ir.Op(in.aux), in.pred2, in.a2(), in.b2(), 0, regs)
+				}
+				st.Cycles += in.runCost
+			case opFusedALUJmp:
+				st.Cycles += in.cost
+				if v, ok := aluHot(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else if v, ok := aluHot2(ir.Op(in.aux), in.a, in.b, regs); ok {
+					regs[in.dst] = v
+				} else {
+					regs[in.dst] = aluEval(ir.Op(in.aux), in.pred, in.a, in.b, in.imm, regs)
+				}
+				pc = int(in.target)
+				if pc < 0 {
+					return 0, fmt.Errorf("interp: branch to foreign block in %s", cf.name)
+				}
+				continue
+			}
+			pc += 2
+			continue
 		}
 		st.Steps++
 		if st.Steps > maxSteps {

@@ -1,0 +1,133 @@
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// FusionTable selects which adjacent opcode pairs the compile-time
+// fusion stage may collapse into superinstructions (compile.go). The
+// structural pattern match (ir.FusiblePair) still applies; the table
+// only narrows it.
+//
+// A nil *FusionTable is the static default heuristic: every structural
+// pattern is allowed, so fusion works without a profile. An empty table
+// (NoFusion) disables fusion entirely — benchmark baselines use it.
+// Profile-derived tables (PairProfile.Table) allow only the hot pairs.
+type FusionTable struct {
+	set  map[[2]ir.Op]bool
+	list [][2]ir.Op // sorted, deduplicated
+	sig  uint64
+}
+
+// defaultFusionSig is the cache signature of the nil table. It cannot
+// collide with a computed signature: NewFusionTable seeds the FNV hash
+// with the pair count, whose contribution never yields ^0.
+const defaultFusionSig = ^uint64(0)
+
+// NewFusionTable builds a table allowing exactly the given opcode
+// pairs. Order and duplicates do not matter; two tables with the same
+// pair set have the same signature.
+func NewFusionTable(pairs [][2]ir.Op) *FusionTable {
+	t := &FusionTable{set: make(map[[2]ir.Op]bool, len(pairs))}
+	for _, p := range pairs {
+		if !t.set[p] {
+			t.set[p] = true
+			t.list = append(t.list, p)
+		}
+	}
+	sort.Slice(t.list, func(i, j int) bool {
+		if t.list[i][0] != t.list[j][0] {
+			return t.list[i][0] < t.list[j][0]
+		}
+		return t.list[i][1] < t.list[j][1]
+	})
+	// FNV-1a over the sorted pair set.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	sig := uint64(offset64)
+	mix := func(v uint64) {
+		sig ^= v
+		sig *= prime64
+	}
+	mix(uint64(len(t.list)))
+	for _, p := range t.list {
+		mix(uint64(p[0]))
+		mix(uint64(p[1]))
+	}
+	if sig == defaultFusionSig {
+		sig--
+	}
+	t.sig = sig
+	return t
+}
+
+// NoFusion returns an empty table: fusion disabled.
+func NoFusion() *FusionTable { return NewFusionTable(nil) }
+
+// Allows reports whether the pair (first, second) may fuse. The nil
+// table allows everything (static default heuristic).
+func (t *FusionTable) Allows(first, second ir.Op) bool {
+	if t == nil {
+		return true
+	}
+	return t.set[[2]ir.Op{first, second}]
+}
+
+// Sig returns the table's cache signature; Interp.ensureProg recompiles
+// when it changes, like the module generation and the cost table.
+func (t *FusionTable) Sig() uint64 {
+	if t == nil {
+		return defaultFusionSig
+	}
+	return t.sig
+}
+
+// Pairs returns the allowed pairs, sorted (nil for the nil table).
+func (t *FusionTable) Pairs() [][2]ir.Op {
+	if t == nil {
+		return nil
+	}
+	out := make([][2]ir.Op, len(t.list))
+	copy(out, t.list)
+	return out
+}
+
+// MarshalJSON encodes the table as {"pairs": [["icmp","br"], ...]}
+// using opcode mnemonics, sorted, so profile dumps are stable and
+// reviewable.
+func (t *FusionTable) MarshalJSON() ([]byte, error) {
+	pairs := make([][2]string, 0, len(t.list))
+	for _, p := range t.list {
+		pairs = append(pairs, [2]string{p[0].String(), p[1].String()})
+	}
+	return json.Marshal(struct {
+		Pairs [][2]string `json:"pairs"`
+	}{pairs})
+}
+
+// UnmarshalJSON decodes a table written by MarshalJSON.
+func (t *FusionTable) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Pairs [][2]string `json:"pairs"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	pairs := make([][2]ir.Op, 0, len(raw.Pairs))
+	for _, p := range raw.Pairs {
+		a, okA := ir.ParseOp(p[0])
+		b, okB := ir.ParseOp(p[1])
+		if !okA || !okB {
+			return fmt.Errorf("interp: unknown opcode pair %q+%q in fusion table", p[0], p[1])
+		}
+		pairs = append(pairs, [2]ir.Op{a, b})
+	}
+	*t = *NewFusionTable(pairs)
+	return nil
+}

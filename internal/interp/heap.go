@@ -167,7 +167,7 @@ func (h *Heap) Snapshot() map[mem.Addr]uint64 {
 			collect(uint64(pi), pg)
 		}
 	}
-	for pi, pg := range h.overflow {
+	for pi, pg := range h.overflow { // detvet:ok — fills a keyed map, order-independent
 		collect(pi, pg)
 	}
 	return out

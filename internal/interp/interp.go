@@ -13,16 +13,18 @@
 //   - The fast path (compile.go, exec.go) pre-decodes each function into
 //     a contiguous instruction array with branch targets resolved to
 //     absolute PCs and per-op cycle costs folded in at compile time,
-//     batches straight-line ALU runs, and runs register frames out of a
-//     pooled stack so the steady-state call loop does not allocate.
+//     fuses hot adjacent pairs into superinstructions, batches
+//     straight-line ALU runs, and runs register frames out of a pooled
+//     stack so the steady-state call loop does not allocate.
 //   - The reference path (reference.go) is the original tree-walking
 //     loop. It is the semantic oracle for differential tests, and it is
-//     also the engine used whenever Hooks.Abort is set, because abort
-//     polling is specified per instruction.
+//     also the engine used whenever Hooks.Abort is set (abort polling is
+//     specified per instruction) or PairProf is set (pair profiling
+//     observes every executed adjacency).
 //
 // Call picks the engine; compiled programs are cached per Interp and
-// invalidated by the module generation counter (ir.Module.Gen) and by
-// CostTable changes.
+// invalidated by the module generation counter (ir.Module.Gen), by
+// CostTable changes, and by FusionTable changes.
 package interp
 
 import (
@@ -153,6 +155,20 @@ type Interp struct {
 	Hooks Hooks
 	Stats Stats
 
+	// Fusion selects which adjacent opcode pairs the compiled fast path
+	// fuses into superinstructions. nil is the static default heuristic
+	// (every structural pattern); NoFusion() disables fusion;
+	// profile-derived tables (PairProfile.Table) fuse only hot pairs.
+	// Changing it invalidates the compiled-program cache like a cost
+	// table change.
+	Fusion *FusionTable
+
+	// PairProf, when non-nil, gathers dynamic adjacent-opcode-pair
+	// frequencies during execution — the profile that drives fusion-table
+	// selection. Profiling routes Call through the reference engine
+	// (like Hooks.Abort), so the fast path never carries the counters.
+	PairProf *PairProfile
+
 	// MaxSteps bounds total executed instructions, cumulatively across
 	// every Call on this Interp (Stats.Steps never resets on its own).
 	// The zero value means DefaultMaxSteps, so struct-literal Interps
@@ -199,9 +215,10 @@ func New(mod *ir.Module) (*Interp, error) {
 // result. Cycle and event counts accumulate in Stats across calls.
 func (ip *Interp) Call(name string, args ...uint64) (uint64, error) {
 	ip.setLimits()
-	if ip.Hooks.Abort != nil {
-		// Abort is polled between consecutive instructions; the
-		// reference engine implements that contract literally.
+	if ip.Hooks.Abort != nil || ip.PairProf != nil {
+		// Abort is polled between consecutive instructions, and pair
+		// profiling observes every executed adjacency; the reference
+		// engine implements both contracts literally.
 		return ip.refCall(name, args, 0)
 	}
 	ip.ensureProg()
@@ -241,11 +258,21 @@ func (ip *Interp) stepLimitErr() error {
 	return ErrStepLimit
 }
 
+// Program returns the compiled program for the current module, cost
+// table, and fusion table, compiling if the cache is stale — the same
+// program a Call would execute (fusion reporting, tooling).
+func (ip *Interp) Program() *Program {
+	ip.ensureProg()
+	return ip.prog
+}
+
 // ensureProg (re)compiles the module if the cached program is missing
-// or stale (module mutated, or cost table changed).
+// or stale (module mutated, cost table changed, or fusion table
+// changed).
 func (ip *Interp) ensureProg() {
-	if ip.prog == nil || ip.prog.gen != ip.Mod.Gen() || ip.prog.cost != ip.Cost {
-		ip.prog = Compile(ip.Mod, ip.Cost)
+	if ip.prog == nil || ip.prog.gen != ip.Mod.Gen() || ip.prog.cost != ip.Cost ||
+		ip.prog.fsig != ip.Fusion.Sig() {
+		ip.prog = Compile(ip.Mod, ip.Cost, ip.Fusion)
 	}
 }
 

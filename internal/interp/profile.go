@@ -1,0 +1,125 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// PairProfile counts adjacent executed opcode pairs within basic
+// blocks — the dynamic frequency data that drives profile-guided
+// superinstruction selection. The reference engine gathers it when
+// Interp.PairProf is set (profiling routes Call through the reference
+// path, like Hooks.Abort, so the fast path never pays for counters);
+// block transfers reset the pairing, matching the fuser's intra-block
+// scope.
+//
+// The counter matrix is a fixed array, not part of Stats: Stats must
+// stay a comparable value type (differential tests compare it with !=).
+type PairProfile struct {
+	counts [ir.NumOps][ir.NumOps]int64
+}
+
+// Note records one executed adjacency (first then second). Out-of-range
+// opcodes (engine-synthetic) are ignored.
+func (p *PairProfile) Note(first, second ir.Op) {
+	if first < 0 || int(first) >= ir.NumOps || second < 0 || int(second) >= ir.NumOps {
+		return
+	}
+	p.counts[first][second]++
+}
+
+// Merge adds q's counts into p (suite-wide aggregation of per-kernel
+// profiles).
+func (p *PairProfile) Merge(q *PairProfile) {
+	if q == nil {
+		return
+	}
+	for a := 0; a < ir.NumOps; a++ {
+		for b := 0; b < ir.NumOps; b++ {
+			p.counts[a][b] += q.counts[a][b]
+		}
+	}
+}
+
+// PairCount is one profile row.
+type PairCount struct {
+	First, Second ir.Op
+	Count         int64
+}
+
+// Top returns the n most frequent pairs, ordered by count descending
+// with (first, second) opcode order as the tie-break, so the output is
+// deterministic for equal counts. Zero-count pairs never appear.
+func (p *PairProfile) Top(n int) []PairCount {
+	var rows []PairCount
+	for a := 0; a < ir.NumOps; a++ {
+		for b := 0; b < ir.NumOps; b++ {
+			if c := p.counts[a][b]; c > 0 {
+				rows = append(rows, PairCount{ir.Op(a), ir.Op(b), c})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		if rows[i].First != rows[j].First {
+			return rows[i].First < rows[j].First
+		}
+		return rows[i].Second < rows[j].Second
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Total returns the total number of recorded adjacencies.
+func (p *PairProfile) Total() int64 {
+	var sum int64
+	for a := 0; a < ir.NumOps; a++ {
+		for b := 0; b < ir.NumOps; b++ {
+			sum += p.counts[a][b]
+		}
+	}
+	return sum
+}
+
+// Render formats the top-n pair table for `interweave interp -profile`.
+// The fusible column marks pairs the fusion stage could select
+// (structural opcode-level check); ordering is Top's, so the output is
+// byte-stable for a given profile.
+func (p *PairProfile) Render(n int) string {
+	rows := p.Top(n)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-28s %12s  %s\n", "rank", "pair", "count", "fusible")
+	for i, r := range rows {
+		fus := "-"
+		if ir.FusibleOps(r.First, r.Second) {
+			fus = "yes"
+		}
+		fmt.Fprintf(&sb, "%-4d %-28s %12d  %s\n",
+			i+1, r.First.String()+" + "+r.Second.String(), r.Count, fus)
+	}
+	return sb.String()
+}
+
+// Table derives a fusion table from the profile: the fusible pairs
+// among the top n. Pairs that cannot match any fusion pattern (e.g.
+// jmp+const block seams) are skipped without consuming a slot.
+func (p *PairProfile) Table(n int) *FusionTable {
+	var pairs [][2]ir.Op
+	for _, r := range p.Top(0) {
+		if !ir.FusibleOps(r.First, r.Second) {
+			continue
+		}
+		pairs = append(pairs, [2]ir.Op{r.First, r.Second})
+		if n > 0 && len(pairs) >= n {
+			break
+		}
+	}
+	return NewFusionTable(pairs)
+}

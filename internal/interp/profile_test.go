@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestPairProfileTopOrdering(t *testing.T) {
+	p := &PairProfile{}
+	p.Note(ir.OpICmp, ir.OpBr)
+	p.Note(ir.OpICmp, ir.OpBr)
+	p.Note(ir.OpICmp, ir.OpBr)
+	p.Note(ir.OpMov, ir.OpJmp) // ties with add+mov on count
+	p.Note(ir.OpAdd, ir.OpMov)
+	rows := p.Top(0)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].First != ir.OpICmp || rows[0].Count != 3 {
+		t.Errorf("row 0 = %v+%v x%d, want icmp+br x3", rows[0].First, rows[0].Second, rows[0].Count)
+	}
+	// Equal counts tie-break by (first, second) opcode order (mov is
+	// declared before add), so the table is deterministic run to run.
+	if rows[1].First != ir.OpMov || rows[2].First != ir.OpAdd {
+		t.Errorf("tie-break order %v then %v, want mov+jmp then add+mov", rows[1].First, rows[2].First)
+	}
+	if got := p.Top(1); len(got) != 1 || got[0].First != ir.OpICmp {
+		t.Errorf("Top(1) = %v", got)
+	}
+}
+
+// TestPairProfileRender pins the exact renderer output `interweave
+// interp -profile` prints, including the fusible marking.
+func TestPairProfileRender(t *testing.T) {
+	p := &PairProfile{}
+	for i := 0; i < 12; i++ {
+		p.Note(ir.OpICmp, ir.OpBr)
+	}
+	for i := 0; i < 5; i++ {
+		p.Note(ir.OpJmp, ir.OpConst) // block seam: not fusible
+	}
+	got := p.Render(10)
+	expect := "rank pair                                count  fusible\n" +
+		"1    icmp + br                              12  yes\n" +
+		"2    jmp + const                             5  -\n"
+	if got != expect {
+		t.Errorf("Render mismatch\ngot:\n%q\nwant:\n%q", got, expect)
+	}
+}
+
+func TestPairProfileTableSkipsNonFusible(t *testing.T) {
+	p := &PairProfile{}
+	for i := 0; i < 100; i++ {
+		p.Note(ir.OpJmp, ir.OpConst) // hottest, but never fusible
+	}
+	p.Note(ir.OpICmp, ir.OpBr)
+	p.Note(ir.OpAdd, ir.OpLoad)
+	ft := p.Table(1)
+	pairs := ft.Pairs()
+	if len(pairs) != 1 {
+		t.Fatalf("Table(1) has %d pairs, want 1", len(pairs))
+	}
+	// Non-fusible pairs are skipped without consuming a slot; the one
+	// slot goes to the hottest fusible pair.
+	if pairs[0] != [2]ir.Op{ir.OpAdd, ir.OpLoad} && pairs[0] != [2]ir.Op{ir.OpICmp, ir.OpBr} {
+		t.Fatalf("Table(1) picked %v", pairs[0])
+	}
+	if !ft.Allows(pairs[0][0], pairs[0][1]) || ft.Allows(ir.OpJmp, ir.OpConst) {
+		t.Error("derived table allows the wrong pairs")
+	}
+}
+
+func TestPairProfileMerge(t *testing.T) {
+	a, b := &PairProfile{}, &PairProfile{}
+	a.Note(ir.OpICmp, ir.OpBr)
+	b.Note(ir.OpICmp, ir.OpBr)
+	b.Note(ir.OpAdd, ir.OpMov)
+	a.Merge(b)
+	if a.Total() != 3 {
+		t.Errorf("merged total %d, want 3", a.Total())
+	}
+	a.Merge(nil) // no-op
+	if a.Total() != 3 {
+		t.Errorf("nil merge changed total to %d", a.Total())
+	}
+}
+
+func TestPairProfileNoteBounds(t *testing.T) {
+	p := &PairProfile{}
+	p.Note(ir.Op(-1), ir.OpBr)
+	p.Note(ir.OpBr, ir.Op(ir.NumOps))
+	if p.Total() != 0 {
+		t.Errorf("out-of-range notes recorded: total %d", p.Total())
+	}
+}

@@ -15,37 +15,51 @@ import (
 var fuzzPipelines = []struct {
 	name string
 	mk   func(m *ir.Module) []Pass
+	// fullDiff additionally runs the transformed module on the fused
+	// compiled engine AND the tree-walking reference engine under the
+	// full CARAT runtime, comparing ret, error, Stats, and the final
+	// heap snapshot bit for bit (the superinstruction differential).
+	fullDiff bool
 }{
-	{"inline", func(m *ir.Module) []Pass {
+	{name: "inline", mk: func(m *ir.Module) []Pass {
 		return []Pass{&Inline{Mod: m}, &ConstFold{}, &GlobalDCE{Mod: m}}
 	}},
-	{"opt", func(m *ir.Module) []Pass { return []Pass{&ConstFold{}, &GlobalDCE{Mod: m}} }},
-	{"carat", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
-	{"carat-elim", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
-	{"carat-elim-nohoist", func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
-	{"timing", func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
-	{"poll", func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
-	{"everything", func(m *ir.Module) []Pass {
+	{name: "opt", mk: func(m *ir.Module) []Pass { return []Pass{&ConstFold{}, &GlobalDCE{Mod: m}} }},
+	{name: "carat", mk: func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}} }},
+	{name: "carat-elim", mk: func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}} }},
+	{name: "carat-elim-nohoist", mk: func(m *ir.Module) []Pass { return []Pass{&CARATInject{}, &CARATElim{}} }},
+	{name: "timing", mk: func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 500, ChunkLoops: true}} }},
+	{name: "poll", mk: func(m *ir.Module) []Pass { return []Pass{&TimingInject{TargetCycles: 800, Op: ir.OpPoll}} }},
+	{name: "everything", mk: func(m *ir.Module) []Pass {
 		return []Pass{
 			&ConstFold{}, &GlobalDCE{Mod: m}, &CARATInject{}, &CARATHoist{},
 			&TimingInject{TargetCycles: 700, ChunkLoops: true},
 		}
 	}},
 	// Appended by the analysis-driven optimizer work (keep order).
-	{"global-opt", StdOptimization},
-	{"licm", func(m *ir.Module) []Pass { return []Pass{&LICM{}} }},
-	{"coalesce", func(m *ir.Module) []Pass { return []Pass{&CopyCoalesce{}} }},
-	{"opt-carat", func(m *ir.Module) []Pass {
+	{name: "global-opt", mk: StdOptimization},
+	{name: "licm", mk: func(m *ir.Module) []Pass { return []Pass{&LICM{}} }},
+	{name: "coalesce", mk: func(m *ir.Module) []Pass { return []Pass{&CopyCoalesce{}} }},
+	{name: "opt-carat", mk: func(m *ir.Module) []Pass {
 		return append(StdOptimization(m),
 			&CARATInject{}, &CARATHoist{}, &CARATElim{})
 	}},
 	// The reverse composition: optimize the already-instrumented module,
 	// so guards and tracking calls are roots the optimizer must preserve
 	// (this is the carat experiment's "opt" configuration).
-	{"carat-opt", func(m *ir.Module) []Pass {
+	{name: "carat-opt", mk: func(m *ir.Module) []Pass {
 		return append([]Pass{&CARATInject{}, &CARATHoist{}, &CARATElim{}},
 			StdOptimization(m)...)
 	}},
+	// Appended by the superinstruction-fusion work (keep order). These
+	// pipelines pin the fused engine against the reference engine on
+	// full observable state, over the shapes the fuser targets: raw
+	// generator output, the optimized form (mov chains coalesced, so
+	// different pairs survive to fuse), and the fully CARAT-instrumented
+	// form (every access guarded → guard+load / guard+store pairs).
+	{name: "fused", mk: func(m *ir.Module) []Pass { return nil }, fullDiff: true},
+	{name: "opt-fused", mk: func(m *ir.Module) []Pass { return StdOptimization(m) }, fullDiff: true},
+	{name: "fused-carat", mk: func(m *ir.Module) []Pass { return []Pass{&CARATInject{}} }, fullDiff: true},
 }
 
 // FuzzDifferentialPipelines is the coverage-guided form of the
@@ -68,6 +82,9 @@ func FuzzDifferentialPipelines(f *testing.F) {
 		}
 		if got := runFuzz(t, m); got != want {
 			t.Fatalf("seed %d pipeline %s: checksum %d != %d", seed, p.name, got, want)
+		}
+		if p.fullDiff {
+			runFuzzEngineDiff(t, p.name, seed, m)
 		}
 	})
 }

@@ -1,6 +1,8 @@
 package passes
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -16,8 +18,11 @@ import (
 // IR program from a seed: power-of-two arrays indexed through masks,
 // bounded (possibly nested) loops, random arithmetic chains, register
 // copy chains (CopyCoalesce fodder), calls to pure and impure helpers
-// (purity-analysis fodder), and a checksum return. It is the input
-// source for differential testing of every pass pipeline.
+// (purity-analysis fodder), the adjacency shapes the superinstruction
+// fuser targets (cmp-then-branch diamonds, loads feeding ALU ops,
+// explicit guard+load pairs), and a checksum return. It is the input
+// source for differential testing of every pass pipeline and of the
+// fused engine against the reference engine.
 func genProgram(seed uint64) *ir.Module {
 	rng := sim.NewRNG(seed)
 	m := ir.NewModule("fuzz")
@@ -87,6 +92,7 @@ func genProgram(seed uint64) *ir.Module {
 		return b.Add(a.base, b.Mul(idx, eight))
 	}
 
+	diamonds := 0 // unique block names for case-10 diamonds
 	var emitOps func(depth, count int)
 	emitOps = func(depth, count int) {
 		for i := 0; i < count; i++ {
@@ -94,7 +100,7 @@ func genProgram(seed uint64) *ir.Module {
 				push(b.Call(helperName(rng.Intn(nHelpers)), pick(), pick()))
 				continue
 			}
-			switch rng.Intn(10) {
+			switch rng.Intn(12) {
 			case 0:
 				push(b.Add(pick(), pick()))
 			case 1:
@@ -139,6 +145,37 @@ func genProgram(seed uint64) *ir.Module {
 				if rng.Intn(2) == 0 {
 					push(v)
 				}
+			case 10: // cmp-then-branch diamond (fuser's cmp+br shape)
+				// Branch-local registers never reach the pool: on the other
+				// path they are unwritten, so leaking them would generate
+				// use-before-def programs.
+				cond := b.ICmp(ir.PredLT, pick(), pick())
+				diamonds++
+				tag := fmt.Sprintf("%d", diamonds)
+				thn := b.Block("dt" + tag)
+				els := b.Block("df" + tag)
+				join := b.Block("dj" + tag)
+				b.Br(cond, thn, els)
+				at := arrays[rng.Intn(len(arrays))]
+				ae := arrays[rng.Intn(len(arrays))]
+				b.SetBlock(thn)
+				b.Store(index(at, pick()), 0, pick())
+				b.Jmp(join)
+				b.SetBlock(els)
+				b.Store(index(ae, pick()), 0, pick())
+				b.Jmp(join)
+				b.SetBlock(join)
+			case 11: // load feeding an ALU op, sometimes behind an explicit
+				// guard (the fuser's load+alu and guard+load shapes)
+				a := arrays[rng.Intn(len(arrays))]
+				addr := index(a, pick())
+				if rng.Intn(2) == 0 {
+					b.Cur.Instrs = append(b.Cur.Instrs, &ir.Instr{
+						Op: ir.OpGuard, Dst: ir.NoReg, A: addr, B: ir.NoReg,
+					})
+				}
+				v := b.Load(addr, 0)
+				push(b.Add(v, pick()))
 			}
 		}
 	}
@@ -162,8 +199,30 @@ func genProgram(seed uint64) *ir.Module {
 	return m
 }
 
+// hasTracking reports whether m carries CARAT allocation tracking
+// (OpTrackAlloc): only then is the allocation table populated at run
+// time, so only then can guards be expected to pass. The generator
+// emits bare guard+load pairs (fusion fodder) without tracking; their
+// guards consult an empty table by design.
+func hasTracking(m *ir.Module) bool {
+	for _, f := range m.Functions() {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpTrackAlloc {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // runFuzz executes a module with the full CARAT runtime attached and
-// returns the checksum; any violation or error fails the test.
+// returns the checksum; any error fails the test, as does a protection
+// violation on a module with allocation tracking (in-bounds programs
+// must guard clean once the table is populated — untracked modules'
+// guards consult an empty table, so their violation count is checked
+// by the engine differential instead).
 func runFuzz(t *testing.T, m *ir.Module) uint64 {
 	t.Helper()
 	ip, err := interp.New(m)
@@ -182,10 +241,67 @@ func runFuzz(t *testing.T, m *ir.Module) uint64 {
 	if err != nil {
 		t.Fatalf("execution failed: %v\n%s", err, ir.Format(m.Funcs["main"]))
 	}
-	if tb.Violations != 0 {
-		t.Fatalf("%d protection violations on in-bounds program", tb.Violations)
+	if tb.Violations != 0 && hasTracking(m) {
+		t.Fatalf("%d protection violations on in-bounds tracked program", tb.Violations)
 	}
 	return got
+}
+
+// runFuzzEngineDiff executes m twice from fresh heaps — once on the
+// fused compiled engine, once on the tree-walking reference engine —
+// under the full CARAT runtime, and compares every observable: return
+// value, error, Stats, protection-violation count, and the final heap
+// snapshot. It also requires that fusion actually engaged (every
+// generated program ends in a counting checksum loop, whose icmp+br
+// header always fuses), so the differential genuinely exercises the
+// fused dispatch arms.
+func runFuzzEngineDiff(t *testing.T, name string, seed uint64, m *ir.Module) {
+	t.Helper()
+	run := func(reference bool) (uint64, error, interp.Stats, map[mem.Addr]uint64, int64) {
+		ip, err := interp.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := carat.NewTable()
+		ip.Hooks.Guard = func(a mem.Addr) int64 { return tb.Guard(a, false) }
+		ip.Hooks.GuardRegion = tb.GuardRegion
+		ip.Hooks.TrackAlloc = tb.TrackAlloc
+		ip.Hooks.TrackFree = tb.TrackFree
+		ip.Hooks.TrackEsc = tb.TrackEscape
+		ip.Hooks.YieldCheck = func(int64) int64 { return 6 }
+		ip.Hooks.Poll = func() int64 { return 3 }
+		var ret uint64
+		var cerr error
+		if reference {
+			ret, cerr = ip.ReferenceCall("main")
+		} else {
+			if ip.Program().FusedPairs() == 0 {
+				t.Fatalf("seed %d pipeline %s: fused engine formed no superinstructions", seed, name)
+			}
+			ret, cerr = ip.Call("main")
+		}
+		return ret, cerr, ip.Stats, ip.Heap.Snapshot(), tb.Violations
+	}
+	fr, ferr, fstats, fheap, fviol := run(false)
+	rr, rerr, rstats, rheap, rviol := run(true)
+	if ferr != nil || rerr != nil {
+		t.Fatalf("seed %d pipeline %s: fused err=%v reference err=%v", seed, name, ferr, rerr)
+	}
+	if fr != rr {
+		t.Fatalf("seed %d pipeline %s: ret %d != %d", seed, name, fr, rr)
+	}
+	if fstats != rstats {
+		t.Fatalf("seed %d pipeline %s: stats diverge\nfused: %+v\nref:   %+v", seed, name, fstats, rstats)
+	}
+	if fviol != rviol {
+		t.Fatalf("seed %d pipeline %s: violations fused=%d ref=%d", seed, name, fviol, rviol)
+	}
+	if rviol != 0 && hasTracking(m) {
+		t.Fatalf("seed %d pipeline %s: %d violations on tracked program", seed, name, rviol)
+	}
+	if !reflect.DeepEqual(fheap, rheap) {
+		t.Fatalf("seed %d pipeline %s: final heaps diverge", seed, name)
+	}
 }
 
 // TestDifferentialPassPipelines: for random programs, every pass
@@ -203,6 +319,9 @@ func TestDifferentialPassPipelines(t *testing.T) {
 			if got := runFuzz(t, m); got != want {
 				t.Fatalf("seed %d pipeline %s: checksum %d != %d",
 					seed, p.name, got, want)
+			}
+			if p.fullDiff {
+				runFuzzEngineDiff(t, p.name, seed, m)
 			}
 		}
 		return true
