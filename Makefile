@@ -3,7 +3,7 @@ GO ?= go
 # Minimum per-package statement coverage (percent) for the cover gate.
 COVER_FLOOR ?= 60
 
-.PHONY: build vet detvet lint test short race race-mem race-machine race-passes race-interp bench bench-mem bench-machine bench-interp-fused benchsmoke cover all check
+.PHONY: build vet detvet lint test short race race-mem race-machine race-passes race-interp race-cache bench bench-mem bench-machine bench-cache bench-interp-fused benchsmoke cachesmoke cover all check
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,14 @@ race-interp:
 	$(GO) test -race ./internal/interp
 	$(GO) test -race ./internal/passes -run 'TestDifferentialPassPipelines|FuzzDifferentialPipelines'
 
+# Focused race leg for the result cache: the sharded LRU, singleflight
+# coalescing, and the pool-slot handoff between them are the newest
+# concurrent surfaces; the core leg runs the cached drivers at multiple
+# pool widths over one shared Cache.
+race-cache:
+	$(GO) test -race ./internal/cache
+	$(GO) test -race ./internal/core -run 'TestCached|TestChaosKeys|TestTableDigest'
+
 # Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
 # fast path vs reference engine vs the pinned seed baseline).
 bench:
@@ -80,6 +88,12 @@ bench-mem:
 bench-machine:
 	$(GO) run ./cmd/benchdiff -machine -o BENCH_machine.json
 
+# Result-cache benches: the experiment suite uncached vs cold vs warm
+# (memory) vs warm (disk restart), plus the coalesced duplicate-caller
+# leg; writes BENCH_cache.json and enforces the >=5x warm speedup.
+bench-cache:
+	$(GO) run ./cmd/benchdiff -cache -o BENCH_cache.json
+
 # Interpreter-engine benchmark legs only (fast / reference / optimized /
 # fused / optimized+fused), regenerating BENCH_interp.json with the
 # fused geomeans; cheaper than the full `bench` sweep.
@@ -91,6 +105,12 @@ bench-interp-fused:
 # timing, so it is cheap enough for check.
 benchsmoke:
 	$(GO) run ./cmd/benchdiff -quick
+
+# Cold-vs-warm byte-identity smoke for the result cache on the trimmed
+# experiment suite (memory, disk-restart, and coalescing legs); no
+# timing, so it is cheap enough for check.
+cachesmoke:
+	$(GO) run ./cmd/benchdiff -cache -quick
 
 # Per-package coverage gate over the internal packages: fails if any
 # package tests below $(COVER_FLOOR)% of statements (or has no tests at
@@ -107,4 +127,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race race-mem race-machine race-passes race-interp cover benchsmoke
+check: build vet lint race race-mem race-machine race-passes race-interp race-cache cover benchsmoke cachesmoke

@@ -9,9 +9,9 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -37,17 +37,24 @@ type machineReport struct {
 	Note       string         `json:"note"`
 }
 
-// machineDigest canonicalizes everything Fig 3 observes about a run, so
-// equality means the engines are indistinguishable to the figures.
+// machineDigest canonicalizes everything Fig 3 observes about a run
+// into a core.Table and takes its content digest, so equality means the
+// engines are indistinguishable to the figures — the same digest the
+// result cache uses as its integrity check.
 func machineDigest(rt *heartbeat.Runtime) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "done=%d", rt.DoneAt())
+	t := &core.Table{
+		ID:     "machine-digest",
+		Header: []string{"worker", "items", "work", "promotions", "steal hits", "steal attempts", "poll", "beats"},
+	}
+	t.AddNote("done=" + strconv.FormatInt(int64(rt.DoneAt()), 10))
 	for i := 0; i < rt.NumWorkers(); i++ {
 		ws := rt.WorkerStats(i)
-		fmt.Fprintf(h, "|%d:%d:%d:%d:%d:%d:%d:%d", i, ws.Items, ws.WorkCycles,
-			ws.Promotions, ws.StealHits, ws.StealAttempts, ws.PollCycles, len(ws.Beats))
+		t.AddRow(strconv.Itoa(i), strconv.FormatInt(ws.Items, 10),
+			strconv.FormatInt(ws.WorkCycles, 10), strconv.FormatInt(ws.Promotions, 10),
+			strconv.FormatInt(ws.StealHits, 10), strconv.FormatInt(ws.StealAttempts, 10),
+			strconv.FormatInt(ws.PollCycles, 10), strconv.Itoa(len(ws.Beats)))
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return fmt.Sprintf("%016x", t.Digest())
 }
 
 // machineRun executes one heartbeat configuration and returns wall time

@@ -12,6 +12,8 @@
 //	                                      # ReferenceBuddy, plus contended magazines vs mutex
 //	benchdiff -machine                    # sharded event-engine scaling curve at
 //	                                      # 64-1024 simulated CPUs -> BENCH_machine.json
+//	benchdiff -cache -o BENCH_cache.json  # result-cache cold/warm/restart/coalesced legs;
+//	benchdiff -cache -quick               # cold-vs-warm byte-identity smoke, write nothing
 //
 // The output file may contain a hand-pinned "seed" section (numbers
 // captured before the fast path existed); benchdiff preserves it when
@@ -284,11 +286,20 @@ func main() {
 	memMode := flag.Bool("mem", false, "benchmark the memory allocator instead of the interpreter")
 	machineMode := flag.Bool("machine", false,
 		"benchmark the sharded event engine at 64-1024 simulated CPUs instead of the interpreter")
+	cacheMode := flag.Bool("cache", false,
+		"benchmark the content-addressed result cache (cold/warm/restart/coalesced legs) instead of the interpreter")
 	chaosSeed := flag.Uint64("chaos-seed", 11,
 		"seed for the fault-injected allocator differential run by -quick")
 	flag.Parse()
 
 	if *quick {
+		if *cacheMode {
+			if err := quickCheckCache(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := quickCheck(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
@@ -319,6 +330,16 @@ func main() {
 			*out = "BENCH_machine.json"
 		}
 		if err := runMachine(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cacheMode {
+		if *out == "" {
+			*out = "BENCH_cache.json"
+		}
+		if err := runCacheBench(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}

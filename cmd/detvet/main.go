@@ -28,6 +28,10 @@ var defaultDirs = []string{
 	// fusion stage and both executors may not depend on map order, the
 	// wall clock, or global randomness (bit-identical engines contract).
 	"internal/interp",
+	// The result cache serves bytes back as experiment output: key
+	// construction and both storage tiers may not depend on map order,
+	// the wall clock, or global randomness (byte-identical warm runs).
+	"internal/cache",
 }
 
 func main() {

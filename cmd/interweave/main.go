@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -65,6 +66,9 @@ func main() {
 	if cmd == "interp" {
 		os.Exit(runInterp(os.Args[2:]))
 	}
+	if cmd == "cache" {
+		os.Exit(runCache(os.Args[2:]))
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	overheads := fs.Bool("overheads", false, "fig3: also print scheduling overheads")
 	granularity := fs.Bool("granularity", false, "fig4: also print granularity floors")
@@ -84,7 +88,18 @@ func main() {
 		"fig3: steal domains per run (0 = auto; >1 shards the event engine, one shard per domain)")
 	shards := fs.Int("shards", 0,
 		"event-engine shards (0 = follow -domains, 1 = force the sequential engine)")
+	useCache := fs.Bool("cache", false,
+		"memoize results in the content-addressed cache (disk spill at -cache-dir); output stays byte-identical")
+	cacheDir := fs.String("cache-dir", os.Getenv(cache.EnvDir),
+		"disk-spill directory for -cache (default $INTERWEAVE_CACHE_DIR; empty = memory only)")
+	cacheStats := fs.Bool("cache-stats", false,
+		"with -cache: print a hit/miss/spill report to stderr after the run")
 	_ = fs.Parse(os.Args[2:])
+
+	var resultCache *cache.Cache
+	if *useCache {
+		resultCache = cache.New(cache.Config{Dir: *cacheDir})
+	}
 
 	// stack applies the shared knobs to a freshly built stack.
 	stack := func(s *core.Stack) *core.Stack {
@@ -92,6 +107,7 @@ func main() {
 		s.Parallel = *parallel
 		s.ChaosSeed = *chaosSeed
 		s.Shards = *shards
+		s.Cache = resultCache
 		return s
 	}
 
@@ -101,9 +117,9 @@ func main() {
 	// `fig3 -sweep` / `fig7 -sweep` invocations.
 	smallAxes := cmd == "all"
 
-	// run regenerates one experiment's tables, in order, into a slice;
-	// printing is the caller's job so `all` can serialize output.
-	run := func(name string) []*core.Table {
+	// generate regenerates one experiment's tables, in order, into a
+	// slice; printing is the caller's job so `all` can serialize output.
+	generate := func(name string) []*core.Table {
 		var tables []*core.Table
 		emit := func(t *core.Table) { tables = append(tables, t) }
 		switch name {
@@ -183,6 +199,44 @@ func main() {
 		return tables
 	}
 
+	// experimentKey canonicalizes one whole experiment invocation: name
+	// plus every knob that shapes its output. The version salt already
+	// covers code-side inputs (cost tables, kernel modules, platform
+	// models); -parallel and -shards are excluded because output is
+	// byte-identical at every setting.
+	experimentKey := func(name string) cache.Key {
+		if resultCache == nil {
+			return cache.Key{}
+		}
+		e := cache.NewEnc()
+		e.U64("salt", core.VersionSalt())
+		e.Str("experiment-tables", name)
+		e.Int("cpus", *cpus)
+		e.U64("seed", *seed)
+		e.U64("chaos-seed", *chaosSeed)
+		if *chaosSeed != 0 {
+			e.Str("chaos-config", fmt.Sprintf("%+v", chaos.DefaultConfig()))
+		}
+		e.Int("domains", *domains)
+		e.Bool("overheads", *overheads)
+		e.Bool("granularity", *granularity)
+		e.Bool("mobility", *mobility)
+		e.Bool("memstats", *memstats)
+		e.Bool("epcc", *epcc)
+		e.Bool("sweep", *sweep)
+		e.Bool("ablate", *ablate)
+		e.Bool("small-axes", smallAxes)
+		return e.Sum()
+	}
+
+	// run is generate behind the driver-level cache tier: a warm key
+	// returns the whole table set without touching the drivers (each
+	// table's digest re-verified); a cold one runs generate and stores.
+	run := func(name string) []*core.Table {
+		return core.CachedTables(resultCache, experimentKey(name),
+			func() []*core.Table { return generate(name) })
+	}
+
 	// runClean runs one experiment, converting a panic that carries an
 	// injected chaos fault into an error return. Experiment drivers
 	// panic on cell failure (runCells' discipline); under -chaos-seed a
@@ -226,6 +280,14 @@ func main() {
 		}
 	}
 
+	// report prints the cache activity summary — to stderr, so stdout
+	// stays byte-identical with and without it.
+	report := func() {
+		if resultCache != nil && *cacheStats {
+			fmt.Fprintln(os.Stderr, resultCache.Stats())
+		}
+	}
+
 	if cmd == "all" {
 		*overheads, *granularity, *mobility, *epcc, *sweep, *ablate =
 			true, true, true, true, true, true
@@ -242,6 +304,7 @@ func main() {
 		for _, tables := range results {
 			print(tables)
 		}
+		report()
 		return
 	}
 	tables, err := runClean(cmd)
@@ -249,6 +312,53 @@ func main() {
 		fail(err)
 	}
 	print(tables)
+	report()
+}
+
+// runCache is the `interweave cache` subcommand: inspect (-stats) or
+// purge (-clear) the on-disk spill directory, e.g. after a cost-table
+// change bumps the version salt and strands old entries.
+func runCache(argv []string) int {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	dir := fs.String("dir", os.Getenv(cache.EnvDir),
+		"cache directory (default $INTERWEAVE_CACHE_DIR)")
+	clear := fs.Bool("clear", false, "remove every cache entry under -dir")
+	stats := fs.Bool("stats", false, "report entry count, bytes, and corrupt entries (default action)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: interweave cache [-dir DIR] [-stats] [-clear]
+
+Inspects or purges the on-disk result cache (see -cache on experiment
+commands). -stats validates every entry and reports totals; -clear
+removes all entries (only cache files are touched). With no flags,
+-stats is implied. The current build's version salt is printed so stale
+directories are easy to spot after a code change.`)
+	}
+	_ = fs.Parse(argv)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "cache: no directory: set $INTERWEAVE_CACHE_DIR or pass -dir")
+		return 2
+	}
+	if !*clear {
+		*stats = true
+	}
+	if *stats {
+		st, err := cache.ScanDir(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: scanning %s: %v\n", *dir, err)
+			return 1
+		}
+		fmt.Printf("cache: %s: %d entries, %d bytes, %d corrupt\n", *dir, st.Entries, st.Bytes, st.Corrupt)
+		fmt.Printf("cache: current version salt %016x\n", core.VersionSalt())
+	}
+	if *clear {
+		n, err := cache.ClearDir(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: clearing %s: %v\n", *dir, err)
+			return 1
+		}
+		fmt.Printf("cache: %s: removed %d entries\n", *dir, n)
+	}
+	return 0
 }
 
 // runLint is the `interweave lint` subcommand: run the static
@@ -388,6 +498,8 @@ tools:
               (interweave lint -h for details)
   interp      interpreter engine summary and opcode-pair profiling
               (interweave interp -h for details)
+  cache       inspect or purge the on-disk result cache
+              (interweave cache -h for details)
 
 flags:
   -parallel N  max concurrent experiment cells; 0 (default) uses
@@ -397,5 +509,9 @@ flags:
                (internal/chaos): IPI loss/delay and timer jitter on
                every simulated machine. Same seed => same faults =>
                byte-identical output; injected failures exit 3 with a
-               typed report instead of a stack trace.`)
+               typed report instead of a stack trace.
+  -cache       memoize results content-addressed by (seed, config,
+               code version); warm runs are byte-identical to cold.
+               Disk spill at -cache-dir / $INTERWEAVE_CACHE_DIR;
+               -cache-stats reports hits/misses/spills on stderr.`)
 }

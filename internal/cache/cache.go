@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Config sizes a Cache. The zero Config is usable: 16 shards, 64 MiB
+// in-memory budget, no disk spill.
+type Config struct {
+	// Shards is the in-memory LRU shard count, rounded up to a power of
+	// two. 0 means 16.
+	Shards int
+	// MemBudget is the total in-memory byte budget across all shards.
+	// 0 means 64 MiB.
+	MemBudget int64
+	// Dir is the disk-spill directory. Empty disables spill. The
+	// interweave CLI defaults it from $INTERWEAVE_CACHE_DIR.
+	Dir string
+}
+
+// Slots is the worker-slot protocol of an admission-controlled pool
+// (implemented by *exp.Pool). GetOrCompute uses it two ways: a leader
+// that does not already hold a slot acquires one for the duration of
+// the compute (admission control — cache traffic cannot oversubscribe
+// the pool), and a coalesced waiter that does hold one blocks through
+// Block so the slot is returned to the pool while it sleeps (a waiter
+// must never occupy a slot another cell could be using to produce the
+// very result it is waiting for).
+type Slots interface {
+	Acquire()
+	Release()
+	Block(wait func())
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	Hits       uint64 // in-memory LRU hits
+	Misses     uint64 // in-memory LRU misses
+	SpillHits  uint64 // misses served from disk (and promoted)
+	SpillReads uint64 // disk lookups attempted after a memory miss
+	SpillWrite uint64 // entries written to disk
+	SpillErr   uint64 // best-effort disk writes that failed
+	Puts       uint64 // new entries admitted to memory
+	Evictions  uint64 // entries evicted for byte budget
+	Computes   uint64 // leader computes run via GetOrCompute
+	Coalesced  uint64 // waiters served by another caller's compute
+	BytesInMem int64  // resident value bytes
+	Entries    int    // resident entries
+}
+
+// String renders the snapshot as the -cache-stats report line set.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"cache: %d hits, %d misses (%d served from disk), %d computes, %d coalesced\n"+
+			"cache: memory %d entries / %d bytes, %d evictions; disk %d writes, %d write errors",
+		s.Hits, s.Misses, s.SpillHits, s.Computes, s.Coalesced,
+		s.Entries, s.BytesInMem, s.Evictions, s.SpillWrite, s.SpillErr)
+}
+
+// Cache composes the three tiers: sharded LRU over disk spill, with a
+// singleflight group coalescing duplicate in-flight computes.
+type Cache struct {
+	mem    *memLRU
+	disk   *diskStore
+	flight flightGroup
+
+	spillHits, spillReads, spillWrite, spillErr atomic.Uint64
+	computes, coalesced                         atomic.Uint64
+}
+
+// New builds a cache from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Cache {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	budget := cfg.MemBudget
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	return &Cache{
+		mem:  newMemLRU(shards, budget),
+		disk: newDiskStore(cfg.Dir),
+	}
+}
+
+// Get looks k up in memory, then on disk; a disk hit is promoted into
+// memory. The returned bytes are shared — callers must not mutate them.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	if v, ok := c.mem.get(k); ok {
+		return v, true
+	}
+	if c.disk == nil {
+		return nil, false
+	}
+	c.spillReads.Add(1)
+	v, ok := c.disk.get(k)
+	if !ok {
+		return nil, false
+	}
+	c.spillHits.Add(1)
+	c.mem.put(k, v)
+	return v, true
+}
+
+// Put stores k→v in memory and writes it through to disk (best-effort).
+func (c *Cache) Put(k Key, v []byte) {
+	c.mem.put(k, v)
+	if c.disk != nil {
+		if err := c.disk.put(k, v); err != nil {
+			c.spillErr.Add(1)
+		} else {
+			c.spillWrite.Add(1)
+		}
+	}
+}
+
+// GetOrCompute returns the cached bytes for k, computing and storing
+// them on a miss. Duplicate in-flight keys coalesce: one caller (the
+// leader) runs compute, the rest wait for its result.
+//
+// slots, when non-nil, is the worker pool governing the callers, and
+// held says whether this caller already occupies one of its slots (true
+// inside a pool cell, false on a submission path). A leader without a
+// slot acquires one around the compute; a waiter with a slot releases
+// it while blocked (Block). This ordering — join the flight first,
+// take a slot only to compute — is what makes N duplicate submissions
+// at pool width 1 deadlock-free: the waiters wait slotless, so the
+// leader can always acquire the one slot.
+//
+// A compute error or panic is never cached; the flight entry is retired
+// so the next caller retries. A leader's panic propagates on the
+// leader's goroutine only; its waiters receive an error wrapping
+// ErrLeaderPanic.
+func (c *Cache) GetOrCompute(k Key, slots Slots, held bool, compute func() ([]byte, error)) ([]byte, error) {
+	if v, ok := c.Get(k); ok {
+		return v, nil
+	}
+	fc, leader := c.flight.join(k)
+	if !leader {
+		c.coalesced.Add(1)
+		if slots != nil && held {
+			var v []byte
+			var err error
+			slots.Block(func() { v, err = fc.wait() })
+			return v, err
+		}
+		return fc.wait()
+	}
+	// Leader. Between the miss above and join, another leader may have
+	// finished and populated the cache; re-check before computing.
+	if v, ok := c.Get(k); ok {
+		c.flight.finish(k, fc, v, nil)
+		return v, nil
+	}
+	finished := false
+	defer func() {
+		if !finished { // compute panicked: release waiters, then unwind
+			c.flight.finish(k, fc, nil, ErrLeaderPanic)
+		}
+	}()
+	if slots != nil && !held {
+		slots.Acquire()
+		defer slots.Release()
+	}
+	c.computes.Add(1)
+	v, err := compute()
+	finished = true
+	if err == nil {
+		c.Put(k, v)
+	}
+	c.flight.finish(k, fc, v, err)
+	return v, err
+}
+
+// Stats snapshots the cache's counters. Taken shard by shard, so under
+// concurrent traffic the totals are approximate.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	st.SpillHits = c.spillHits.Load()
+	st.SpillReads = c.spillReads.Load()
+	st.SpillWrite = c.spillWrite.Load()
+	st.SpillErr = c.spillErr.Load()
+	st.Computes = c.computes.Load()
+	st.Coalesced = c.coalesced.Load()
+	c.mem.stats(&st)
+	return st
+}

@@ -1,0 +1,364 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := tkey("gp")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("v"))
+	if v, ok := c.Get(k); !ok || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheSpillAcrossRestart pins the disk tier: a second Cache
+// instance over the same directory — a simulated process restart —
+// serves the first instance's entries, promoting them into memory.
+func TestCacheSpillAcrossRestart(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c1 := New(Config{Dir: dir})
+	k := tkey("restart")
+	c1.Put(k, []byte("persisted"))
+	if st := c1.Stats(); st.SpillWrite != 1 {
+		t.Fatalf("spill write not recorded: %+v", st)
+	}
+
+	c2 := New(Config{Dir: dir})
+	v, ok := c2.Get(k)
+	if !ok || string(v) != "persisted" {
+		t.Fatalf("restart get = %q, %v", v, ok)
+	}
+	st := c2.Stats()
+	if st.SpillHits != 1 {
+		t.Fatalf("disk hit not recorded: %+v", st)
+	}
+	// Promoted: the next get is a memory hit, not another disk read.
+	c2.Get(k)
+	if st := c2.Stats(); st.SpillReads != 1 {
+		t.Fatalf("promotion did not stick: %+v", st)
+	}
+}
+
+// TestCacheMemEvictionFallsBackToDisk pins the two tiers composing: an
+// entry evicted from memory for budget is still served from disk.
+func TestCacheMemEvictionFallsBackToDisk(t *testing.T) {
+	t.Parallel()
+	c := New(Config{Shards: 1, MemBudget: 64, Dir: t.TempDir()})
+	k := tkey("evicted")
+	c.Put(k, []byte("survivor"))
+	for i := 0; i < 8; i++ {
+		c.Put(tkey(fmt.Sprintf("filler%d", i)), make([]byte, 32))
+	}
+	v, ok := c.Get(k)
+	if !ok || string(v) != "survivor" {
+		t.Fatalf("evicted entry not served from disk: %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.SpillHits == 0 || st.Evictions == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrComputeBasics(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := tkey("goc")
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("r"), nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute(k, nil, false, compute)
+		if err != nil || string(v) != "r" {
+			t.Fatalf("GetOrCompute = %q, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+}
+
+// TestGetOrComputeErrorNotCached pins retry semantics: a failed compute
+// leaves nothing behind — the next caller recomputes.
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := tkey("err")
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute(k, nil, false, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.GetOrCompute(k, nil, false, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("retry = %q, %v", v, err)
+	}
+}
+
+// TestCoalescingExactlyOnce is the acceptance-criteria test: K
+// duplicate in-flight configs execute the cell exactly once, every
+// caller gets the same bytes, and the waiters are counted.
+func TestCoalescingExactlyOnce(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := tkey("dup")
+	const K = 16
+	var computes atomic.Int32
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([][]byte, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetOrCompute(k, nil, false, func() ([]byte, error) {
+				computes.Add(1)
+				once.Do(func() { close(inFlight) })
+				<-release // hold the flight open until all K have joined
+				return []byte("once"), nil
+			})
+		}(i)
+	}
+	<-inFlight
+	waitFor(t, func() bool { return c.Stats().Coalesced == K-1 }, "K-1 waiters to coalesce")
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	for i := 0; i < K; i++ {
+		if errs[i] != nil || !bytes.Equal(results[i], []byte("once")) {
+			t.Fatalf("caller %d: %q, %v", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestCoalescedWaitersDontHoldSlots is the slot-accounting regression
+// test from the issue: at pool width 1, N duplicate submissions must
+// not deadlock. The leader's compute refuses to finish until all N-1
+// waiters have coalesced — which they can only do if joining the flight
+// never requires a slot. With slot-first ordering this test times out.
+func TestCoalescedWaitersDontHoldSlots(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	p := exp.New(1)
+	k := tkey("slotless")
+	const N = 8
+	var computes atomic.Int32
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < N; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Submission path: no slot held yet; the leader must
+				// acquire the pool's only slot to compute.
+				v, err := c.GetOrCompute(k, p, false, func() ([]byte, error) {
+					computes.Add(1)
+					waitFor(t, func() bool { return c.Stats().Coalesced == N-1 },
+						"waiters to coalesce while leader holds the only slot")
+					return []byte("v"), nil
+				})
+				if err != nil || string(v) != "v" {
+					t.Errorf("GetOrCompute = %q, %v", v, err)
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: duplicate submissions at pool width 1 never completed")
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times", n)
+	}
+}
+
+// TestWaiterInsideCellReleasesSlot pins the held=true path: a pool cell
+// waiting on a coalesced result must free its slot (via Block) so the
+// leader — queued behind it on a width-1 pool — can run.
+func TestWaiterInsideCellReleasesSlot(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	p := exp.New(1)
+	k := tkey("incell")
+	leaderMayRun := make(chan struct{})
+	var computes atomic.Int32
+
+	// Pre-lead the flight from outside the pool so the cell below joins
+	// as a waiter; the flight finishes only when leaderMayRun closes.
+	fc, leader := c.flight.join(k)
+	if !leader {
+		t.Fatal("setup: expected to lead the flight")
+	}
+	go func() {
+		<-leaderMayRun
+		c.flight.finish(k, fc, []byte("led"), nil)
+	}()
+	done := make(chan error, 1)
+	go func() {
+		// The pool's only cell waits on the flight; Block must free the
+		// slot so the second Run below can close leaderMayRun.
+		done <- p.Run(1, func(int) error {
+			v, err := c.GetOrCompute(k, p, true, func() ([]byte, error) {
+				computes.Add(1)
+				return nil, errors.New("must not compute")
+			})
+			if err != nil || string(v) != "led" {
+				return fmt.Errorf("waiter got %q, %v", v, err)
+			}
+			return nil
+		})
+	}()
+	// Only admit the second Run once the cell has coalesced onto the
+	// flight (and is therefore parked in Block with the slot released).
+	waitFor(t, func() bool { return c.Stats().Coalesced == 1 }, "cell to coalesce")
+	if err := p.Run(1, func(int) error { close(leaderMayRun); return nil }); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: in-cell waiter held its slot")
+	}
+	if computes.Load() != 0 {
+		t.Fatal("waiter recomputed a led flight")
+	}
+}
+
+// TestLeaderPanicReleasesWaiters pins panic safety: the leader's panic
+// propagates on the leader's goroutine, waiters get ErrLeaderPanic
+// (never a hang), and the key stays retryable.
+func TestLeaderPanicReleasesWaiters(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := tkey("panic")
+	armed := make(chan struct{})
+	release := make(chan struct{})
+
+	waitErr := make(chan error, 1)
+	go func() {
+		<-armed
+		_, err := c.GetOrCompute(k, nil, false, func() ([]byte, error) {
+			return []byte("waiter must not compute"), nil
+		})
+		waitErr <- err
+	}()
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		c.GetOrCompute(k, nil, false, func() ([]byte, error) {
+			close(armed)
+			<-release
+			panic("cell exploded")
+		})
+	}()
+
+	waitFor(t, func() bool { return c.Stats().Coalesced == 1 }, "waiter to coalesce")
+	close(release)
+	if r := <-leaderDone; r == nil || !strings.Contains(fmt.Sprint(r), "cell exploded") {
+		t.Fatalf("leader panic = %v", r)
+	}
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, ErrLeaderPanic) {
+			t.Fatalf("waiter error = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter hung after leader panic")
+	}
+	// The key is retryable: the failed flight was retired.
+	v, err := c.GetOrCompute(k, nil, false, func() ([]byte, error) { return []byte("retried"), nil })
+	if err != nil || string(v) != "retried" {
+		t.Fatalf("retry after panic = %q, %v", v, err)
+	}
+}
+
+// TestGetOrComputeConcurrentMixedKeys is the race-detector workload:
+// many goroutines over a small key space with eviction pressure, disk
+// spill, and coalescing all active at once.
+func TestGetOrComputeConcurrentMixedKeys(t *testing.T) {
+	t.Parallel()
+	c := New(Config{Shards: 4, MemBudget: 1 << 10, Dir: t.TempDir()})
+	p := exp.New(4)
+	const G, rounds, keys = 8, 50, 7
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % keys
+				k := tkey(fmt.Sprintf("mixed%d", i))
+				want := fmt.Sprintf("val%d", i)
+				v, err := c.GetOrCompute(k, p, false, func() ([]byte, error) {
+					return []byte(want), nil
+				})
+				if err != nil || string(v) != want {
+					t.Errorf("key %d: %q, %v", i, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Computes > keys*G {
+		t.Fatalf("computes exploded: %+v", st)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	c.Put(tkey("s"), []byte("v"))
+	c.Get(tkey("s"))
+	s := c.Stats().String()
+	for _, want := range []string{"hits", "misses", "coalesced", "evictions"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stats string missing %q: %s", want, s)
+		}
+	}
+}
+
+// waitFor polls cond (a cheap, race-free predicate) until it holds or
+// the deadline passes. Tests use it only to sequence goroutines, never
+// to assert timing.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// EnvDir is the environment variable naming the disk-spill directory;
+// it mirrors the interweave CLI's -cache flag.
+const EnvDir = "INTERWEAVE_CACHE_DIR"
+
+// Disk entry format (little-endian):
+//
+//	magic   [8]byte  "IWCACHE1"
+//	key     [32]byte the entry's Key (guards against renamed files)
+//	length  u64      payload length
+//	payload [length]byte
+//	check   u64      FNV-1a over payload
+//
+// Entries are written to a temp file and renamed into place, so readers
+// never observe a partial write; a file that is truncated, bit-flipped,
+// or from a different format version simply fails validation and is
+// treated as a miss — corruption is never an error.
+var diskMagic = [8]byte{'I', 'W', 'C', 'A', 'C', 'H', 'E', '1'}
+
+// entryExt is the on-disk entry suffix; Clear and Scan only ever touch
+// files with this suffix, so a mistargeted cache dir cannot lose
+// foreign files.
+const entryExt = ".iwc"
+
+// diskStore is the spill tier: one file per key under dir.
+type diskStore struct {
+	dir string
+}
+
+// newDiskStore prepares dir (creating it if needed). An empty dir, or a
+// dir that cannot be created, disables spill (returns nil).
+func newDiskStore(dir string) *diskStore {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &diskStore{dir: dir}
+}
+
+func (d *diskStore) path(k Key) string {
+	return filepath.Join(d.dir, k.String()+entryExt)
+}
+
+// get reads and validates the entry for k. Any failure — missing file,
+// short read, wrong magic, wrong key, bad checksum — is a miss.
+func (d *diskStore) get(k Key) ([]byte, bool) {
+	raw, err := os.ReadFile(d.path(k))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := decodeEntry(k, raw)
+	return payload, ok
+}
+
+// decodeEntry validates one raw entry against k (or any key if k is
+// zero, for Scan) and returns its payload.
+func decodeEntry(k Key, raw []byte) ([]byte, bool) {
+	const header = 8 + 32 + 8
+	if len(raw) < header+8 {
+		return nil, false
+	}
+	if [8]byte(raw[:8]) != diskMagic {
+		return nil, false
+	}
+	if fk := Key(raw[8:40]); !k.IsZero() && fk != k {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[40:48])
+	if uint64(len(raw)) != header+n+8 {
+		return nil, false
+	}
+	payload := raw[header : header+n]
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != binary.LittleEndian.Uint64(raw[header+n:]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// put writes the entry for k atomically (temp file + rename). Spill is
+// best-effort: an error is reported for stats but never fails a run.
+func (d *diskStore) put(k Key, v []byte) error {
+	buf := make([]byte, 0, 8+32+8+len(v)+8)
+	buf = append(buf, diskMagic[:]...)
+	buf = append(buf, k[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(v)))
+	buf = append(buf, v...)
+	h := fnv.New64a()
+	h.Write(v)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Sum64())
+
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return errors.Join(werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// DiskStats summarizes an on-disk cache directory (see ScanDir).
+type DiskStats struct {
+	Entries int   // valid entries
+	Bytes   int64 // file bytes of valid entries
+	Corrupt int   // entries failing validation
+}
+
+// ScanDir validates every entry under dir and reports totals. A missing
+// directory is an empty cache.
+func ScanDir(dir string) (DiskStats, error) {
+	var st DiskStats
+	names, err := entryNames(dir)
+	if err != nil {
+		return st, err
+	}
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			st.Corrupt++
+			continue
+		}
+		if _, ok := decodeEntry(Key{}, raw); !ok {
+			st.Corrupt++
+			continue
+		}
+		st.Entries++
+		st.Bytes += int64(len(raw))
+	}
+	return st, nil
+}
+
+// ClearDir removes every cache entry under dir (only *.iwc files; other
+// files are untouched) and returns how many were removed.
+func ClearDir(dir string) (int, error) {
+	names, err := entryNames(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	var errs []error
+	for _, name := range names {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		removed++
+	}
+	return removed, errors.Join(errs...)
+}
+
+// entryNames lists dir's cache-entry file names in directory order. A
+// missing dir yields an empty list.
+func entryNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}

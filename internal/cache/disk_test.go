@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diskT(t *testing.T) *diskStore {
+	t.Helper()
+	d := newDiskStore(t.TempDir())
+	if d == nil {
+		t.Fatal("newDiskStore returned nil for a usable dir")
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	t.Parallel()
+	d := diskT(t)
+	k := tkey("rt")
+	want := []byte("the rendered table cells")
+	if err := d.put(k, want); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, ok := d.get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if _, ok := d.get(tkey("absent")); ok {
+		t.Fatal("absent key hit")
+	}
+}
+
+// TestDiskCorruptionIsMiss pins the central spill contract: a
+// truncated, bit-flipped, renamed, or wrong-format entry is a miss —
+// never a panic, never an error, never wrong bytes.
+func TestDiskCorruptionIsMiss(t *testing.T) {
+	t.Parallel()
+	payload := []byte("payload bytes that must never be served corrupted")
+	write := func(t *testing.T, d *diskStore, k Key) string {
+		t.Helper()
+		if err := d.put(k, payload); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		return d.path(k)
+	}
+	t.Run("truncated", func(t *testing.T) {
+		t.Parallel()
+		d := diskT(t)
+		k := tkey("trunc")
+		p := write(t, d, k)
+		raw, _ := os.ReadFile(p)
+		for cut := 0; cut < len(raw); cut += 7 {
+			if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.get(k); ok {
+				t.Fatalf("truncation at %d bytes still hit", cut)
+			}
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		t.Parallel()
+		d := diskT(t)
+		k := tkey("flip")
+		p := write(t, d, k)
+		raw, _ := os.ReadFile(p)
+		for i := 0; i < len(raw); i += 11 {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 0x40
+			if err := os.WriteFile(p, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := d.get(k); ok && !bytes.Equal(got, payload) {
+				t.Fatalf("flip at byte %d served corrupted payload", i)
+			}
+		}
+	})
+	t.Run("renamed entry", func(t *testing.T) {
+		t.Parallel()
+		d := diskT(t)
+		p := write(t, d, tkey("original"))
+		other := tkey("other")
+		if err := os.Rename(p, d.path(other)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.get(other); ok {
+			t.Fatal("entry served under a key it was not written for")
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		t.Parallel()
+		d := diskT(t)
+		k := tkey("magic")
+		p := write(t, d, k)
+		raw, _ := os.ReadFile(p)
+		raw[0] = 'X'
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.get(k); ok {
+			t.Fatal("foreign-format entry hit")
+		}
+	})
+	t.Run("empty file", func(t *testing.T) {
+		t.Parallel()
+		d := diskT(t)
+		k := tkey("empty")
+		if err := os.WriteFile(d.path(k), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.get(k); ok {
+			t.Fatal("empty file hit")
+		}
+	})
+}
+
+func TestScanAndClearDir(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	d := newDiskStore(dir)
+	d.put(tkey("a"), []byte("aaaa"))
+	d.put(tkey("b"), []byte("bbbbbbbb"))
+	// One corrupt entry and one foreign file Clear must leave alone.
+	if err := os.WriteFile(filepath.Join(dir, "bad"+entryExt), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ScanDir(dir)
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if st.Entries != 2 || st.Corrupt != 1 || st.Bytes == 0 {
+		t.Fatalf("ScanDir = %+v", st)
+	}
+	removed, err := ClearDir(dir)
+	if err != nil {
+		t.Fatalf("ClearDir: %v", err)
+	}
+	if removed != 3 {
+		t.Fatalf("ClearDir removed %d, want 3", removed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("ClearDir removed a non-cache file")
+	}
+	if st, _ := ScanDir(dir); st.Entries != 0 || st.Corrupt != 0 {
+		t.Fatalf("dir not empty after ClearDir: %+v", st)
+	}
+}
+
+func TestScanDirMissing(t *testing.T) {
+	t.Parallel()
+	st, err := ScanDir(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || st.Entries != 0 {
+		t.Fatalf("missing dir: %+v, %v", st, err)
+	}
+	if n, err := ClearDir(filepath.Join(t.TempDir(), "nope")); err != nil || n != 0 {
+		t.Fatalf("clear missing dir: %d, %v", n, err)
+	}
+}
+
+func TestNewDiskStoreDisabled(t *testing.T) {
+	t.Parallel()
+	if newDiskStore("") != nil {
+		t.Fatal("empty dir should disable spill")
+	}
+	// A path that cannot be created (a file in the way) disables spill.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if newDiskStore(filepath.Join(f, "sub")) != nil {
+		t.Fatal("uncreatable dir should disable spill")
+	}
+}

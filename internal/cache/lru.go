@@ -1,0 +1,129 @@
+package cache
+
+import "sync"
+
+// memLRU is the sharded in-memory tier: 2^k shards, each an
+// independently locked map + intrusive doubly-linked recency list with
+// its own byte budget, so concurrent cells on different shards never
+// contend. Values are stored and returned by reference; callers must
+// treat the byte slices as immutable.
+type memLRU struct {
+	shards []lruShard
+}
+
+// lruShard is one lock domain of the LRU. The recency list is intrusive
+// (entries carry their own prev/next) and circular around the sentinel
+// head: head.next is most recent, head.prev least recent.
+type lruShard struct {
+	mu      sync.Mutex
+	entries map[Key]*lruEntry
+	head    lruEntry // sentinel
+	bytes   int64
+	budget  int64
+
+	hits, misses, puts, evictions uint64
+}
+
+type lruEntry struct {
+	key        Key
+	val        []byte
+	prev, next *lruEntry
+}
+
+// newMemLRU builds an LRU with the given shard count (rounded up to a
+// power of two) and total byte budget split evenly across shards.
+func newMemLRU(shards int, budget int64) *memLRU {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &memLRU{shards: make([]lruShard, n)}
+	per := budget / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.entries = make(map[Key]*lruEntry)
+		s.budget = per
+		s.head.prev = &s.head
+		s.head.next = &s.head
+	}
+	return m
+}
+
+func (s *lruShard) unlink(e *lruEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *lruShard) pushFront(e *lruEntry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.next.prev = e
+	s.head.next = e
+}
+
+// get returns the value for k and promotes it to most-recent.
+func (m *memLRU) get(k Key) ([]byte, bool) {
+	s := &m.shards[k.shard(len(m.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.unlink(e)
+	s.pushFront(e)
+	return e.val, true
+}
+
+// put inserts (or refreshes) k→v at most-recent and evicts from the
+// least-recent end until the shard is back under budget. A value larger
+// than the whole shard budget is not cached at all: admitting it would
+// evict the entire shard to hold one entry that can never be joined by
+// another.
+func (m *memLRU) put(k Key, v []byte) {
+	s := &m.shards[k.shard(len(m.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int64(len(v)) > s.budget {
+		return
+	}
+	if e, ok := s.entries[k]; ok {
+		s.bytes += int64(len(v)) - int64(len(e.val))
+		e.val = v
+		s.unlink(e)
+		s.pushFront(e)
+	} else {
+		e = &lruEntry{key: k, val: v}
+		s.entries[k] = e
+		s.pushFront(e)
+		s.bytes += int64(len(v))
+		s.puts++
+	}
+	for s.bytes > s.budget {
+		last := s.head.prev
+		s.unlink(last)
+		delete(s.entries, last.key)
+		s.bytes -= int64(len(last.val))
+		s.evictions++
+	}
+}
+
+// stats accumulates every shard's counters into st.
+func (m *memLRU) stats(st *Stats) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Puts += s.puts
+		st.Evictions += s.evictions
+		st.BytesInMem += s.bytes
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// cacheDrivers is the driver set the cache tests exercise: every
+// runCells/MapRNG call site, at the same reduced axes the determinism
+// test uses.
+var cacheDrivers = []struct {
+	name  string
+	stack func() *Stack
+	gen   func(s *Stack) *Table
+}{
+	{"fig3", func() *Stack { return NewStack(16) }, func(s *Stack) *Table {
+		cfg := DefaultFig3Config()
+		cfg.Items = 400_000
+		return s.Fig3(cfg)
+	}},
+	{"carat", func() *Stack { return NewStack(16) }, (*Stack).CARAT},
+	{"fig7-ablation", ServerStack, (*Stack).AblationSharingClasses},
+	{"virtine", func() *Stack { return NewStack(16) }, (*Stack).Virtines},
+	{"memstats", func() *Stack { return NewStack(16) }, (*Stack).MemStats},
+	{"fig6", func() *Stack { return KNLStack(1) }, func(s *Stack) *Table {
+		return s.Fig6(Fig6Config{CPUCounts: []int{2, 8}, Kernels: DefaultFig6Config().Kernels, Steps: 2})
+	}},
+}
+
+// TestCachedRunsByteIdentical is the acceptance-criteria test for the
+// cell tier: for every cached driver, output is byte-identical between
+// the uncached run, a cold cached run, a warm cached run at a different
+// pool width, and a warm run through a fresh Cache over the same spill
+// directory (a simulated process restart).
+func TestCachedRunsByteIdentical(t *testing.T) {
+	t.Parallel()
+	for _, d := range cacheDrivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			run := func(par int, c *cache.Cache) string {
+				s := d.stack()
+				s.Parallel = par
+				s.Cache = c
+				return d.gen(s).JSON()
+			}
+			want := run(1, nil)
+			c1 := cache.New(cache.Config{Dir: dir})
+			if got := run(2, c1); got != want {
+				t.Fatalf("cold cached run differs from uncached:\n%s\n---\n%s", got, want)
+			}
+			st := c1.Stats()
+			if st.Computes == 0 {
+				t.Fatal("cold run computed nothing through the cache")
+			}
+			if got := run(8, c1); got != want {
+				t.Fatal("warm cached run differs (pool width 8)")
+			}
+			if warm := c1.Stats(); warm.Hits <= st.Hits {
+				t.Fatalf("warm run hit nothing: %+v -> %+v", st, warm)
+			}
+			// Process restart: fresh memory, same disk.
+			c2 := cache.New(cache.Config{Dir: dir})
+			if got := run(1, c2); got != want {
+				t.Fatal("spill-restart run differs")
+			}
+			if st := c2.Stats(); st.SpillHits == 0 {
+				t.Fatalf("restart run never read the spill tier: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCachedTablesRoundTrip exercises the driver-level tier the CLI
+// uses: whole table sets round-trip byte-identically through memory and
+// disk, with the Table digest verified on the way back in.
+func TestCachedTablesRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	gen := func() []*Table {
+		s := NewStack(16)
+		s.Parallel = 2
+		cfg := DefaultFig3Config()
+		cfg.Items = 400_000
+		return []*Table{s.Fig3Overheads(cfg), s.MemStats()}
+	}
+	render := func(ts []*Table) string {
+		var out string
+		for _, tb := range ts {
+			out += tb.JSON()
+		}
+		return out
+	}
+	key := NewStack(16).KeyEnc("tables-roundtrip-test").Sum()
+	want := render(gen())
+	c1 := cache.New(cache.Config{Dir: dir})
+	if got := render(CachedTables(c1, key, gen)); got != want {
+		t.Fatal("cold CachedTables differs from direct generation")
+	}
+	ran := false
+	got := render(CachedTables(c1, key, func() []*Table { ran = true; return gen() }))
+	if ran {
+		t.Fatal("warm CachedTables re-ran the generator")
+	}
+	if got != want {
+		t.Fatal("warm CachedTables differs")
+	}
+	c2 := cache.New(cache.Config{Dir: dir})
+	if got := render(CachedTables(c2, key, func() []*Table { t.Fatal("restart re-ran"); return nil })); got != want {
+		t.Fatal("spill-restart CachedTables differs")
+	}
+	// A nil cache or zero key is transparent.
+	if got := render(CachedTables(nil, key, gen)); got != want {
+		t.Fatal("nil-cache CachedTables differs")
+	}
+	if got := render(CachedTables(c1, cache.Key{}, gen)); got != want {
+		t.Fatal("zero-key CachedTables differs")
+	}
+}
+
+// TestChaosKeysNeverAlias pins the fault-injection isolation rule:
+// chaos-seeded stacks derive different keys than clean ones (and than
+// each other), at both the driver and cell tier, so a fault-injected
+// result can never be served to a clean run.
+func TestChaosKeysNeverAlias(t *testing.T) {
+	t.Parallel()
+	mk := func(chaosSeed uint64) cache.Key {
+		s := NewStack(16)
+		s.ChaosSeed = chaosSeed
+		e := s.KeyEnc("fig3")
+		DefaultFig3Config().enc(e)
+		return e.Sum()
+	}
+	clean, chaos7, chaos8 := mk(0), mk(7), mk(8)
+	if clean == chaos7 || clean == chaos8 || chaos7 == chaos8 {
+		t.Fatalf("chaos plans alias: clean=%s chaos7=%s chaos8=%s", clean, chaos7, chaos8)
+	}
+
+	// Run-level check: a clean run warms the cache; an armed run over
+	// the same shared cache must not hit any of its entries.
+	c := cache.New(cache.Config{})
+	run := func(chaosSeed uint64) {
+		s := NewStack(16)
+		s.ChaosSeed = chaosSeed
+		s.Cache = c
+		s.MemStats() // memstats cells don't build machines: chaos-armed runs complete
+	}
+	run(0)
+	st := c.Stats()
+	run(9)
+	st2 := c.Stats()
+	if st2.Hits != st.Hits {
+		t.Fatalf("chaos-armed run hit clean entries: %+v -> %+v", st, st2)
+	}
+	if st2.Computes <= st.Computes {
+		t.Fatal("chaos-armed run computed nothing (keys aliased)")
+	}
+}
+
+// TestTableDigest pins the digest's contract: equality across pool
+// widths and cache states, sensitivity to every content field.
+func TestTableDigest(t *testing.T) {
+	t.Parallel()
+	gen := func(par int, c *cache.Cache) *Table {
+		s := NewStack(16)
+		s.Parallel = par
+		s.Cache = c
+		cfg := DefaultFig3Config()
+		cfg.Items = 400_000
+		return s.Fig3Overheads(cfg)
+	}
+	ref := gen(1, nil).Digest()
+	if gen(8, nil).Digest() != ref {
+		t.Fatal("digest varies with pool width")
+	}
+	c := cache.New(cache.Config{})
+	if gen(2, c).Digest() != ref || gen(2, c).Digest() != ref {
+		t.Fatal("digest varies with cache state")
+	}
+
+	base := &Table{ID: "x", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	d := base.Digest()
+	if d != (&Table{ID: "x", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}).Digest() {
+		t.Fatal("digest not deterministic")
+	}
+	mutations := map[string]*Table{
+		"id":     {ID: "y", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}},
+		"header": {ID: "x", Header: []string{"a", "c"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}},
+		"row":    {ID: "x", Header: []string{"a", "b"}, Rows: [][]string{{"1", "3"}}, Notes: []string{"n"}},
+		"note":   {ID: "x", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"m"}},
+		// Cell boundaries are part of the form: ["ab"] vs ["a","b"].
+		"split": {ID: "x", Header: []string{"ab"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}},
+	}
+	for name, m := range mutations {
+		if m.Digest() == d {
+			t.Errorf("%s change did not change the digest", name)
+		}
+	}
+}
+
+// TestVersionSaltStable pins that the salt is memoized and stable
+// within a build — two calls agree, and KeyEnc embeds it.
+func TestVersionSaltStable(t *testing.T) {
+	t.Parallel()
+	if VersionSalt() != VersionSalt() {
+		t.Fatal("salt unstable across calls")
+	}
+	a := NewStack(16).KeyEnc("x").Sum()
+	b := NewStack(16).KeyEnc("x").Sum()
+	if a != b {
+		t.Fatal("KeyEnc unstable for identical stacks")
+	}
+	if NewStack(16).KeyEnc("y").Sum() == a {
+		t.Fatal("experiment id not in the key")
+	}
+	s := NewStack(32)
+	if s.KeyEnc("x").Sum() == a {
+		t.Fatal("topology not in the key")
+	}
+	s = NewStack(16)
+	s.Seed = 43
+	if s.KeyEnc("x").Sum() == a {
+		t.Fatal("seed not in the key")
+	}
+	// Parallel and Shards are execution knobs, not result coordinates.
+	s = NewStack(16)
+	s.Parallel = 8
+	s.Shards = 4
+	if s.KeyEnc("x").Sum() != a {
+		t.Fatal("pool width / engine sharding leaked into the key")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/exp"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+// cacheSchemaVersion is folded into every key via the version salt.
+// Bump it when cached value encodings or driver semantics change in a
+// way the salt's structural inputs (cost tables, kernel modules,
+// platform models) cannot see — stale on-disk entries then miss instead
+// of serving the old results.
+const cacheSchemaVersion = 1
+
+// VersionSalt is the code-version component of every cache key: an
+// FNV-1a fingerprint over the schema version, the interpreter cost
+// table, the platform models, and the structure of every CARAT kernel
+// module (functions, blocks, opcode streams). Editing any of those
+// generators changes the salt, so results cached by an older build can
+// never alias the new build's.
+func VersionSalt() uint64 { return versionSalt() }
+
+var versionSalt = sync.OnceValue(func() uint64 {
+	e := cache.NewEnc()
+	e.U64("schema", cacheSchemaVersion)
+	e.Str("costs", fmt.Sprintf("%+v", interp.DefaultCosts()))
+	e.Str("models", modelsFingerprint())
+	for _, k := range workloads.CARATSuite() {
+		e.Str("kernel", k.Name)
+		e.Str("entry", k.Entry)
+		e.U64("want", k.Want)
+		e.Key("module", moduleKey(k.Build()))
+	}
+	return e.Fingerprint()
+})
+
+// modelsFingerprint renders every platform model the stacks build on.
+// The models are plain numeric structs, so %+v is a total, canonical
+// rendering.
+func modelsFingerprint() string {
+	return fmt.Sprintf("default=%+v knl=%+v server=%+v riscv=%+v",
+		model.Default(), model.KNL(), model.Server(), model.RISCV())
+}
+
+// moduleKey canonicalizes an IR module's structure: functions in
+// deterministic Functions() order, blocks in layout order, and each
+// instruction's full operand set. Any compiler-side change to kernel
+// generation lands here.
+func moduleKey(m *ir.Module) cache.Key {
+	e := cache.NewEnc()
+	e.Str("module", m.Name)
+	for _, f := range m.Functions() {
+		e.Str("func", f.Name)
+		e.Int("params", f.NumParams)
+		e.Int("regs", f.NumRegs)
+		for _, b := range f.Blocks {
+			e.Str("block", b.Name)
+			for _, in := range b.Instrs {
+				e.Str("op", in.Op.String())
+				e.Int("dst", int(in.Dst))
+				e.Int("a", int(in.A))
+				e.Int("b", int(in.B))
+				e.I64("imm", in.Imm)
+				e.F64("fimm", in.FImm)
+				e.Int("pred", int(in.Pred))
+				e.Bool("region", in.Region)
+				e.Str("callee", in.Callee)
+				args := make([]int, len(in.Args))
+				for i, r := range in.Args {
+					args[i] = int(r)
+				}
+				e.Ints("args", args)
+				if in.Target != nil {
+					e.Str("target", in.Target.Name)
+				}
+				if in.Else != nil {
+					e.Str("else", in.Else.Name)
+				}
+			}
+		}
+	}
+	return e.Sum()
+}
+
+// KeyEnc starts the canonical key for one experiment driver on this
+// stack: version salt, experiment id, platform model, topology, seed,
+// and — when armed — the chaos plan (seed and rate config), so
+// fault-injected results never alias clean ones. Drivers append their
+// config fields and Sum().
+//
+// Parallel and Shards are deliberately excluded: output is
+// byte-identical at every pool width and on either engine (the
+// package's standing guarantee, pinned by TestParallelDeterminism), so
+// they are execution knobs, not result coordinates.
+func (s *Stack) KeyEnc(experiment string) *cache.Enc {
+	e := cache.NewEnc()
+	e.U64("salt", VersionSalt())
+	e.Str("experiment", experiment)
+	e.Str("model", fmt.Sprintf("%+v", s.Model))
+	e.Int("sockets", s.Topo.Sockets)
+	e.Int("cores", s.Topo.CoresPerSocket)
+	e.U64("seed", s.Seed)
+	e.U64("chaos-seed", s.ChaosSeed)
+	if s.ChaosSeed != 0 {
+		e.Str("chaos-config", fmt.Sprintf("%+v", chaos.DefaultConfig()))
+	}
+	return e
+}
+
+// cellKey derives the address of cell i of n under a driver key.
+func cellKey(driver cache.Key, i, n int) cache.Key {
+	e := cache.NewEnc()
+	e.Key("driver", driver)
+	e.Int("cell", i)
+	e.Int("of", n)
+	return e.Sum()
+}
+
+// encodeCell serializes one cell result for the cache. Cell result
+// types are gob-encodable by construction (exported fields, no
+// functions) — a type that is not is a programming error, panicking
+// like any other driver fault.
+func encodeCell[T any](v T) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		panic(fmt.Errorf("core: cache-encode %T: %w", v, err))
+	}
+	return buf.Bytes()
+}
+
+// decodeCell deserializes a cached cell result. A decode failure (an
+// entry written under an encoding the salt could not distinguish) is a
+// miss, never an error: the caller recomputes and overwrites.
+func decodeCell[T any](b []byte) (T, bool) {
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// cachedCell runs one cell through the stack's cache: hit returns the
+// decoded bytes, miss computes (coalescing duplicate in-flight keys)
+// and stores. p is the pool whose slot the calling cell holds — a
+// coalesced waiter releases it while parked (see cache.Slots).
+func cachedCell[T any](s *Stack, p *exp.Pool, driver cache.Key, i, n int, fn func() T) T {
+	if s.Cache == nil || driver.IsZero() {
+		return fn()
+	}
+	ck := cellKey(driver, i, n)
+	buf, err := s.Cache.GetOrCompute(ck, p, true, func() ([]byte, error) {
+		return encodeCell(fn()), nil
+	})
+	if err != nil {
+		// Coalesced-leader failure: surface it as this cell's failure
+		// (runCells panics, exp converts to a *CellError).
+		panic(err)
+	}
+	if v, ok := decodeCell[T](buf); ok {
+		return v
+	}
+	v := fn()
+	s.Cache.Put(ck, encodeCell(v))
+	return v
+}
+
+// tablesPayload is the driver-level cache value: a whole rendered table
+// set plus per-table digests checked on the way back in.
+type tablesPayload struct {
+	Tables  []*Table
+	Digests []uint64
+}
+
+// CachedTables memoizes an entire driver invocation — the whole []*Table
+// a figure or sweep produces — under key. This is the tier the CLI and
+// benchdiff use: it covers every driver, including those whose work is
+// not cell-structured. Each table's Digest is stored alongside and
+// re-verified on a hit; a mismatch (however a stored entry decayed into
+// validity) is treated as a miss and recomputed. A nil cache or zero
+// key just runs gen.
+func CachedTables(c *cache.Cache, key cache.Key, gen func() []*Table) []*Table {
+	if c == nil || key.IsZero() {
+		return gen()
+	}
+	buf, err := c.GetOrCompute(key, nil, false, func() ([]byte, error) {
+		ts := gen()
+		p := tablesPayload{Tables: ts, Digests: make([]uint64, len(ts))}
+		for i, t := range ts {
+			p.Digests[i] = t.Digest()
+		}
+		return encodeCell(p), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if p, ok := decodeCell[tablesPayload](buf); ok && len(p.Tables) == len(p.Digests) {
+		intact := true
+		for i, t := range p.Tables {
+			if t.Digest() != p.Digests[i] {
+				intact = false
+				break
+			}
+		}
+		if intact {
+			return p.Tables
+		}
+	}
+	ts := gen()
+	p := tablesPayload{Tables: ts, Digests: make([]uint64, len(ts))}
+	for i, t := range ts {
+		p.Digests[i] = t.Digest()
+	}
+	c.Put(key, encodeCell(p))
+	return ts
+}

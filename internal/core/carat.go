@@ -12,24 +12,25 @@ import (
 	"repro/internal/workloads"
 )
 
-// caratResult is one kernel's measurement.
+// caratResult is one kernel's measurement. Fields are exported: cell
+// results cross the cache (gob).
 type caratResult struct {
-	name              string
-	baseCycles        int64
-	naiveCycles       int64
-	hoistedCycles     int64
-	elimCycles        int64
-	optCycles         int64
-	naiveGuards       int64
-	hoistedGuards     int64
-	elimGuards        int64
-	naiveOverhead     float64
-	hoistedOverhead   float64
-	elimOverhead      float64
-	optOverhead       float64
-	baseRegs          int
-	optRegs           int
-	semanticsVerified bool
+	Name              string
+	BaseCycles        int64
+	NaiveCycles       int64
+	HoistedCycles     int64
+	ElimCycles        int64
+	OptCycles         int64
+	NaiveGuards       int64
+	HoistedGuards     int64
+	ElimGuards        int64
+	NaiveOverhead     float64
+	HoistedOverhead   float64
+	ElimOverhead      float64
+	OptOverhead       float64
+	BaseRegs          int
+	OptRegs           int
+	SemanticsVerified bool
 }
 
 // CARAT regenerates the §IV-A overhead result: for each benchmark
@@ -47,24 +48,30 @@ func (s *Stack) CARAT() *Table {
 	}
 	suite := workloads.CARATSuite()
 	var naiveOvh, hoistOvh, elimOvh, optOvh []float64
+	e := s.KeyEnc("carat")
+	for _, k := range suite {
+		// Module structure is already in the version salt; the names pin
+		// the suite's composition and order.
+		e.Str("kernel", k.Name)
+	}
 	// One cell per kernel: each cell runs the kernel's base, naive,
 	// hoisted, eliminated, and optimized configurations on its own
 	// interpreter instances.
-	for _, r := range runCells(s, len(suite), func(i int) caratResult {
+	for _, r := range runCells(s, e.Sum(), len(suite), func(i int) caratResult {
 		return s.caratKernel(suite[i])
 	}) {
-		naiveOvh = append(naiveOvh, 1+r.naiveOverhead)
-		hoistOvh = append(hoistOvh, 1+r.hoistedOverhead)
-		elimOvh = append(elimOvh, 1+r.elimOverhead)
-		optOvh = append(optOvh, 1+r.optOverhead)
+		naiveOvh = append(naiveOvh, 1+r.NaiveOverhead)
+		hoistOvh = append(hoistOvh, 1+r.HoistedOverhead)
+		elimOvh = append(elimOvh, 1+r.ElimOverhead)
+		optOvh = append(optOvh, 1+r.OptOverhead)
 		ok := "yes"
-		if !r.semanticsVerified {
+		if !r.SemanticsVerified {
 			ok = "NO"
 		}
-		t.AddRow(r.name, f1(float64(r.baseCycles)/1e3), pct(r.naiveOverhead),
-			pct(r.hoistedOverhead), pct(r.elimOverhead), pct(r.optOverhead),
-			i64(r.naiveGuards), i64(r.hoistedGuards), i64(r.elimGuards),
-			fmt.Sprintf("%d->%d", r.baseRegs, r.optRegs), ok)
+		t.AddRow(r.Name, f1(float64(r.BaseCycles)/1e3), pct(r.NaiveOverhead),
+			pct(r.HoistedOverhead), pct(r.ElimOverhead), pct(r.OptOverhead),
+			i64(r.NaiveGuards), i64(r.HoistedGuards), i64(r.ElimGuards),
+			fmt.Sprintf("%d->%d", r.BaseRegs, r.OptRegs), ok)
 	}
 	t.AddRow("geomean", "", pct(stats.GeoMean(naiveOvh)-1), pct(stats.GeoMean(hoistOvh)-1),
 		pct(stats.GeoMean(elimOvh)-1), pct(stats.GeoMean(optOvh)-1), "", "", "", "", "")
@@ -139,22 +146,22 @@ func (s *Stack) caratKernel(k workloads.IRKernel) caratResult {
 		panic(err)
 	}
 	return caratResult{
-		name:              k.Name,
-		baseCycles:        baseStats.Cycles,
-		naiveCycles:       naiveStats.Cycles,
-		hoistedCycles:     hoistedStats.Cycles,
-		elimCycles:        elimStats.Cycles,
-		optCycles:         optStats.Cycles,
-		naiveGuards:       naiveStats.Guards,
-		hoistedGuards:     hoistedStats.Guards,
-		elimGuards:        elimStats.Guards,
-		naiveOverhead:     float64(naiveStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
-		hoistedOverhead:   float64(hoistedStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
-		elimOverhead:      float64(elimStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
-		optOverhead:       float64(optStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
-		baseRegs:          baseRegs,
-		optRegs:           optRegs,
-		semanticsVerified: base == naive && naive == hoisted && hoisted == elim && elim == opt && (k.Want == 0 || base == k.Want),
+		Name:              k.Name,
+		BaseCycles:        baseStats.Cycles,
+		NaiveCycles:       naiveStats.Cycles,
+		HoistedCycles:     hoistedStats.Cycles,
+		ElimCycles:        elimStats.Cycles,
+		OptCycles:         optStats.Cycles,
+		NaiveGuards:       naiveStats.Guards,
+		HoistedGuards:     hoistedStats.Guards,
+		ElimGuards:        elimStats.Guards,
+		NaiveOverhead:     float64(naiveStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
+		HoistedOverhead:   float64(hoistedStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
+		ElimOverhead:      float64(elimStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
+		OptOverhead:       float64(optStats.Cycles-baseStats.Cycles) / float64(baseStats.Cycles),
+		BaseRegs:          baseRegs,
+		OptRegs:           optRegs,
+		SemanticsVerified: base == naive && naive == hoisted && hoisted == elim && elim == opt && (k.Want == 0 || base == k.Want),
 	}
 }
 

@@ -11,10 +11,13 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/chaos"
 	"repro/internal/exp"
 	"repro/internal/machine"
@@ -54,6 +57,42 @@ func (t *Table) JSON() string {
 		panic(err)
 	}
 	return string(b)
+}
+
+// Digest returns a canonical FNV-1a digest of the table's content: ID,
+// header, rows, and notes, each length-prefixed so cell boundaries are
+// part of the form. Two tables render identically (String and JSON are
+// pure functions of these fields plus Title) exactly when their
+// ID/header/rows/notes agree, so the digest doubles as the cache's
+// integrity check and as benchdiff's output-identity probe — and is
+// invariant across pool widths, engines, and cache state by the
+// package's determinism guarantee.
+func (t *Table) Digest() uint64 {
+	h := fnv.New64a()
+	put := func(s string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	putRow := func(cells []string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(cells)))
+		h.Write(n[:])
+		for _, c := range cells {
+			put(c)
+		}
+	}
+	put(t.ID)
+	putRow(t.Header)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(t.Rows)))
+	h.Write(n[:])
+	for _, r := range t.Rows {
+		putRow(r)
+	}
+	putRow(t.Notes)
+	return h.Sum64()
 }
 
 // String renders the table as aligned text.
@@ -129,6 +168,13 @@ type Stack struct {
 	// — output stays byte-identical across -parallel settings, and
 	// byte-identical between two runs with the same -chaos-seed.
 	ChaosSeed uint64
+	// Cache, when non-nil, memoizes experiment cells content-addressed
+	// by (version salt, model, topology, seed, chaos plan, driver
+	// config, cell index) — see internal/cache and KeyEnc. Every cell
+	// is a pure function of those coordinates, so cached and uncached
+	// runs are byte-identical; the cache only changes wall-clock.
+	// Stacks derived with WithCPUs inherit it.
+	Cache *cache.Cache
 }
 
 // pool returns the worker pool for this stack's experiment cells.
@@ -136,9 +182,15 @@ func (s *Stack) pool() *exp.Pool { return exp.New(s.Parallel) }
 
 // runCells evaluates n independent experiment cells on s's pool and
 // returns the results in index order, panicking on any cell failure
-// (the drivers' error discipline throughout this package).
-func runCells[T any](s *Stack, n int, fn func(i int) T) []T {
-	out, err := exp.Map(s.pool(), n, func(i int) (T, error) { return fn(i), nil })
+// (the drivers' error discipline throughout this package). key is the
+// driver's canonical cache key (from KeyEnc); when the stack carries a
+// cache, each cell is looked up / stored under (key, i, n), with
+// duplicate in-flight cells coalesced across concurrent drivers.
+func runCells[T any](s *Stack, key cache.Key, n int, fn func(i int) T) []T {
+	p := s.pool()
+	out, err := exp.Map(p, n, func(i int) (T, error) {
+		return cachedCell(s, p, key, i, n, func() T { return fn(i) }), nil
+	})
 	if err != nil {
 		panic(err)
 	}

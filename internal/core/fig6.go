@@ -49,33 +49,41 @@ func (s *Stack) Fig6(cfg Fig6Config) *Table {
 			cs = append(cs, cell{k, cpus})
 		}
 	}
+	// Cell results cross the cache (gob), so fields are exported.
 	type res struct {
-		base             int64
-		rRTK, rPIK, rCCK float64
+		Base             int64
+		RRTK, RPIK, RCCK float64
 	}
 	var rtkRatios, pikRatios []float64
+	e := s.KeyEnc("fig6")
+	for _, c := range cs {
+		// NASKernel is a plain numeric struct (no functions), so %+v is
+		// a total canonical rendering of the post-override workload.
+		e.Str("kernel", fmt.Sprintf("%+v", c.k))
+		e.Int("cpus", c.cpus)
+	}
 	// One cell per (kernel, CPU count): the four runtime modes run on
 	// the cell's own machines.
-	results := runCells(s, len(cs), func(i int) res {
+	results := runCells(s, e.Sum(), len(cs), func(i int) res {
 		c := cs[i]
 		base := s.ompRun(omp.ModeLinux, c.cpus, c.k)
 		rtk := s.ompRun(omp.ModeRTK, c.cpus, c.k)
 		pik := s.ompRun(omp.ModePIK, c.cpus, c.k)
 		cck := s.ompRun(omp.ModeCCK, c.cpus, c.k)
 		return res{
-			base: base,
-			rRTK: float64(base) / float64(rtk),
-			rPIK: float64(base) / float64(pik),
-			rCCK: float64(base) / float64(cck),
+			Base: base,
+			RRTK: float64(base) / float64(rtk),
+			RPIK: float64(base) / float64(pik),
+			RCCK: float64(base) / float64(cck),
 		}
 	})
 	for i, r := range results {
 		if cs[i].cpus > 1 {
-			rtkRatios = append(rtkRatios, r.rRTK)
-			pikRatios = append(pikRatios, r.rPIK)
+			rtkRatios = append(rtkRatios, r.RRTK)
+			pikRatios = append(pikRatios, r.RPIK)
 		}
-		t.AddRow(cs[i].k.Name, i64(int64(cs[i].cpus)), f1(float64(r.base)/1e6),
-			f2(r.rRTK), f2(r.rPIK), f2(r.rCCK))
+		t.AddRow(cs[i].k.Name, i64(int64(cs[i].cpus)), f1(float64(r.Base)/1e6),
+			f2(r.RRTK), f2(r.RPIK), f2(r.RCCK))
 	}
 	t.AddNote("RTK geomean gain %s, PIK geomean gain %s (paper: ~22%% RTK geomean on KNL; PIK performs similarly; CCK not easily summarized)",
 		pct(stats.GeoMean(rtkRatios)-1), pct(stats.GeoMean(pikRatios)-1))

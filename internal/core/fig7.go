@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -19,23 +20,26 @@ func (s *Stack) Fig7() *Table {
 		Header: []string{"benchmark", "speedup", "energy reduction", "deactivated accesses"},
 	}
 	benches := workloads.PBBS()
+	// Cell results cross the cache (gob), so fields are exported.
 	type res struct {
-		sp, es, frac float64
+		Sp, Es, Frac float64
 	}
 	var speedups, energySavings []float64
-	results := runCells(s, len(benches), func(i int) res {
+	e := s.KeyEnc("fig7")
+	encPBBS(e, benches)
+	results := runCells(s, e.Sum(), len(benches), func(i int) res {
 		base := s.coherenceRun(benches[i], false, 0)
 		fast := s.coherenceRun(benches[i], true, 0)
 		return res{
-			sp:   float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles()),
-			es:   1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ,
-			frac: float64(fast.Stats.DeactivatedAcc) / float64(fast.Stats.Accesses),
+			Sp:   float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles()),
+			Es:   1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ,
+			Frac: float64(fast.Stats.DeactivatedAcc) / float64(fast.Stats.Accesses),
 		}
 	})
 	for i, r := range results {
-		speedups = append(speedups, r.sp)
-		energySavings = append(energySavings, r.es)
-		t.AddRow(benches[i].Name, f2(r.sp), pct(r.es), pct(r.frac))
+		speedups = append(speedups, r.Sp)
+		energySavings = append(energySavings, r.Es)
+		t.AddRow(benches[i].Name, f2(r.Sp), pct(r.Es), pct(r.Frac))
 	}
 	t.AddRow("average", f2(stats.Mean(speedups)), pct(stats.Mean(energySavings)), "")
 	t.AddNote("paper: average speedup ~46%%, interconnect energy reduced ~53%% (scenario of Fig. 7)")
@@ -65,28 +69,34 @@ func (s *Stack) Fig7SweepCores(coreCounts []int) *Table {
 	latencies := []int64{1, 4}
 	benches := workloads.PBBS()
 	type point struct {
-		sp, en float64
+		Sp, En float64
 	}
+	e := s.KeyEnc("fig7-sweep")
+	e.Ints("core-counts", coreCounts)
+	for _, l := range latencies {
+		e.I64("latency-x", l)
+	}
+	encPBBS(e, benches)
 	// One cell per (cores, latency, benchmark) triple — the sweep's full
 	// cross product runs concurrently and is averaged in canonical order.
 	nPer := len(benches)
 	nCfg := len(coreCounts) * len(latencies)
-	pts := runCells(s, nCfg*nPer, func(i int) point {
+	pts := runCells(s, e.Sum(), nCfg*nPer, func(i int) point {
 		cfgIdx, b := i/nPer, benches[i%nPer]
 		cores := coreCounts[cfgIdx/len(latencies)]
 		latX := latencies[cfgIdx%len(latencies)]
 		base := s.coherenceRunScaled(b, false, cores, latX)
 		fast := s.coherenceRunScaled(b, true, cores, latX)
 		return point{
-			sp: float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles()),
-			en: 1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ,
+			Sp: float64(base.Stats.SumCycles()) / float64(fast.Stats.SumCycles()),
+			En: 1 - fast.Stats.InterconnectPJ/base.Stats.InterconnectPJ,
 		}
 	})
 	for cfgIdx := 0; cfgIdx < nCfg; cfgIdx++ {
 		var sps, ens []float64
 		for _, p := range pts[cfgIdx*nPer : (cfgIdx+1)*nPer] {
-			sps = append(sps, p.sp)
-			ens = append(ens, p.en)
+			sps = append(sps, p.Sp)
+			ens = append(ens, p.En)
 		}
 		t.AddRow(i64(int64(coreCounts[cfgIdx/len(latencies)])),
 			fmt.Sprintf("%dx", latencies[cfgIdx%len(latencies)]),
@@ -108,21 +118,33 @@ func (s *Stack) AblationSharingClasses() *Table {
 	classes := []coherence.SharingClass{
 		coherence.ClassPrivate, coherence.ClassReadOnly, coherence.ClassProducerConsumer,
 	}
+	// Cell results cross the cache, so cells return the two metrics the
+	// rows need (gob-encodable) rather than the whole *coherence.System.
+	type ablationMetrics struct {
+		Cycles         int64
+		InterconnectPJ float64
+	}
+	e := s.KeyEnc("fig7-ablation")
+	encPBBS(e, []workloads.PBBSBench{b})
+	for _, c := range classes {
+		e.Str("class", c.String())
+	}
 	// Cells: baseline, full deactivation, then one per kept class. The
 	// per-class ablation reuses the same trace but reclassifies regions,
 	// handled by filtering inside each run.
-	systems := runCells(s, 2+len(classes), func(i int) *coherence.System {
+	systems := runCells(s, e.Sum(), 2+len(classes), func(i int) ablationMetrics {
+		var sys *coherence.System
 		switch i {
 		case 0:
-			return s.coherenceRun(b, false, 0)
+			sys = s.coherenceRun(b, false, 0)
 		case 1:
-			return s.coherenceRun(b, true, 0)
+			sys = s.coherenceRun(b, true, 0)
 		default:
-			sys := s.newCoherenceSystem(true, 0, 0)
+			sys = s.newCoherenceSystem(true, 0, 0)
 			sys.FilterClass = classes[i-2]
 			b.Run(sys, b.Scale, s.Seed)
-			return sys
 		}
+		return ablationMetrics{Cycles: sys.Stats.SumCycles(), InterconnectPJ: sys.Stats.InterconnectPJ}
 	})
 	base := systems[0]
 	for i, sys := range systems[1:] {
@@ -130,10 +152,20 @@ func (s *Stack) AblationSharingClasses() *Table {
 		if i > 0 {
 			label = "only " + classes[i-1].String()
 		}
-		t.AddRow(label, f2(float64(base.Stats.SumCycles())/float64(sys.Stats.SumCycles())),
-			pct(1-sys.Stats.InterconnectPJ/base.Stats.InterconnectPJ))
+		t.AddRow(label, f2(float64(base.Cycles)/float64(sys.Cycles)),
+			pct(1-sys.InterconnectPJ/base.InterconnectPJ))
 	}
 	return t
+}
+
+// encPBBS appends the identifying fields of PBBS benchmarks to a key.
+// The Run function is code, covered by the schema version, never
+// rendered (a func value has no canonical form).
+func encPBBS(e *cache.Enc, benches []workloads.PBBSBench) {
+	for _, b := range benches {
+		e.Str("bench", b.Name)
+		e.Int("scale", b.Scale)
+	}
 }
 
 // newCoherenceSystem builds the Fig. 7 memory system. cores == 0 keeps

@@ -9,10 +9,11 @@ import (
 	"repro/internal/workloads"
 )
 
-// memStatsResult is one kernel's heap-allocator accounting.
+// memStatsResult is one kernel's heap-allocator accounting. Fields are
+// exported: cell results cross the cache (gob).
 type memStatsResult struct {
-	name string
-	st   mem.BuddyStats
+	Name string
+	St   mem.BuddyStats
 }
 
 // MemStats surfaces the allocator fast path's counters for experiments
@@ -28,13 +29,17 @@ func (s *Stack) MemStats() *Table {
 		Header: []string{"kernel", "allocs", "frees", "splits", "coalesces", "peak used (KiB)", "failed", "live"},
 	}
 	suite := workloads.CARATSuite()
-	for _, r := range runCells(s, len(suite), func(i int) memStatsResult {
+	e := s.KeyEnc("memstats")
+	for _, k := range suite {
+		e.Str("kernel", k.Name)
+	}
+	for _, r := range runCells(s, e.Sum(), len(suite), func(i int) memStatsResult {
 		return memStatsKernel(suite[i])
 	}) {
-		t.AddRow(r.name, i64(int64(r.st.Allocs)), i64(int64(r.st.Frees)),
-			i64(int64(r.st.Splits)), i64(int64(r.st.Coalesces)),
-			i64(int64(r.st.PeakUsed)/1024), i64(int64(r.st.FailedAllocs)),
-			i64(int64(r.st.Live)))
+		t.AddRow(r.Name, i64(int64(r.St.Allocs)), i64(int64(r.St.Frees)),
+			i64(int64(r.St.Splits)), i64(int64(r.St.Coalesces)),
+			i64(int64(r.St.PeakUsed)/1024), i64(int64(r.St.FailedAllocs)),
+			i64(int64(r.St.Live)))
 	}
 
 	// Magazine demonstration: 8 simulated CPUs churn one shared zone
@@ -61,7 +66,7 @@ func memStatsKernel(k workloads.IRKernel) memStatsResult {
 	if _, err := ip.Call(k.Entry); err != nil {
 		panic(err)
 	}
-	return memStatsResult{name: k.Name, st: ip.Heap.Buddy.Stats()}
+	return memStatsResult{Name: k.Name, St: ip.Heap.Buddy.Stats()}
 }
 
 // magazineDemo drives a deterministic churn workload through a CPUCache

@@ -79,11 +79,25 @@ func (s *Stack) Virtines() *Table {
 	fork := svc
 	fork.StartupCycles = w.ProcessBaselineCycles()
 	cfgs := []virtine.ServiceConfig{pooled, fork}
-	svcRes, err := exp.MapRNG(s.pool(), sim.NewRNG(s.Seed), len(cfgs),
+	e := s.KeyEnc("virtine-svc")
+	for _, c := range cfgs {
+		e.F64("arrival-mean", c.ArrivalMeanCycles)
+		e.Int("requests", c.Requests)
+		e.I64("exec", c.ExecCycles)
+		e.I64("startup", c.StartupCycles)
+	}
+	key := e.Sum()
+	// The RNGs are pre-split in index order whether or not a cell hits
+	// the cache, so the root generator advances identically on warm and
+	// cold runs — anything seeded after this stays byte-identical.
+	p := s.pool()
+	svcRes, err := exp.MapRNG(p, sim.NewRNG(s.Seed), len(cfgs),
 		func(i int, rng *sim.RNG) (virtine.ServiceResult, error) {
-			c := cfgs[i]
-			c.RNG = rng
-			return virtine.SimulateService(c), nil
+			return cachedCell(s, p, key, i, len(cfgs), func() virtine.ServiceResult {
+				c := cfgs[i]
+				c.RNG = rng
+				return virtine.SimulateService(c)
+			}), nil
 		})
 	if err != nil {
 		panic(err)

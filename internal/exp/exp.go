@@ -66,10 +66,18 @@ func EngineWorkers(poolWorkers, shards int) int {
 	return n
 }
 
-// Pool is a bounded worker pool for independent experiment cells. The
-// zero Pool is not valid; use New.
+// Pool is a bounded worker pool for independent experiment cells,
+// built on a token semaphore: a cell runs only while it holds one of
+// Workers() slots. The slots are exposed (Acquire/Release/Block) so
+// cooperating layers — the result cache's request coalescing in
+// particular — can participate in admission control: a caller waiting
+// on another cell's in-flight result returns its slot to the pool while
+// it sleeps instead of occupying capacity it cannot use.
+//
+// The zero Pool is not valid; use New.
 type Pool struct {
 	workers int
+	sem     chan struct{}
 }
 
 // New returns a pool running at most workers cells concurrently.
@@ -79,11 +87,30 @@ func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
 }
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
+
+// Acquire blocks until a worker slot is free and takes it. Every
+// Acquire must be balanced by exactly one Release.
+func (p *Pool) Acquire() { p.sem <- struct{}{} }
+
+// Release returns a worker slot taken by Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Block runs wait with the caller's worker slot released, reacquiring
+// it before returning. The caller must hold a slot (be inside a pool
+// cell or a balanced Acquire). This is the backpressure escape hatch
+// for coalesced cache waiters: at pool width 1, a waiter parked inside
+// Block frees the only slot, so the leader computing its result can
+// always be admitted — N duplicate submissions can never deadlock.
+func (p *Pool) Block(wait func()) {
+	p.Release()
+	defer p.Acquire()
+	wait()
+}
 
 // CellError reports the failure of one cell: a returned error, or a
 // recovered panic (Stack non-nil in that case).
@@ -114,57 +141,38 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	workers := p.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	if p.workers == 1 {
+		// Cells run inline on the caller's goroutine, but still under
+		// the semaphore: a cell that Blocks (coalesced cache waiter)
+		// frees the slot for whoever computes its result, and a
+		// concurrent Run on the same pool stays bounded at one cell.
 		for i := 0; i < n; i++ {
+			p.Acquire()
 			errs[i] = runCell(i, fn)
+			p.Release()
 		}
 		return joinCells(errs)
 	}
-	// Results flow back over a channel the caller drains, and shutdown
-	// is owned by a single closer goroutine: close(res) happens exactly
-	// once, after every worker has retired. The sync.Once makes the
-	// close idempotent by construction — a panic escaping a worker's
-	// loop (runCell confines cell panics, but the pool does not bet its
-	// own integrity on that) still reaches wg.Done via the defer, so
-	// shutdown can neither double-close the result channel nor hang the
-	// collector. The chaos-injected regression test (TestShutdownUnder-
-	// ChaosInjection) pins this contract.
-	idx := make(chan int)
-	res := make(chan cellResult)
+	// One goroutine per cell, each admitted by the semaphore: at most
+	// Workers() cells execute at a time, results land index-addressed,
+	// and shutdown is just wg.Wait — there is no result channel to
+	// close, so a panic escaping a cell (runCell confines cell panics,
+	// but the pool does not bet its own integrity on that) still
+	// reaches wg.Done and Release via the defers. The chaos-injected
+	// regression test (TestShutdownUnderChaosInjection) pins this
+	// contract.
 	var wg sync.WaitGroup
-	var closeOnce sync.Once
-	closeRes := func() { closeOnce.Do(func() { close(res) }) }
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
 			defer wg.Done()
-			for i := range idx {
-				res <- cellResult{index: i, err: runCell(i, fn)}
-			}
-		}()
+			p.Acquire()
+			defer p.Release()
+			errs[i] = runCell(i, fn)
+		}(i)
 	}
-	go func() {
-		for i := 0; i < n; i++ {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-		closeRes()
-	}()
-	for r := range res {
-		errs[r.index] = r.err
-	}
+	wg.Wait()
 	return joinCells(errs)
-}
-
-// cellResult carries one cell's outcome from a worker to the collector.
-type cellResult struct {
-	index int
-	err   error
 }
 
 // runCell invokes one cell, converting an error return or a panic into

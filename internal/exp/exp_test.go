@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 	"testing"
 
 	"repro/internal/sim"
@@ -185,5 +186,63 @@ func TestDefaultWorkersEnv(t *testing.T) {
 	}
 	if got := New(5).Workers(); got != 5 {
 		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}
+
+// TestBlockReleasesSlot pins the slot-accounting contract behind cache
+// coalescing: a cell parked in Block must free its worker slot so other
+// cells can run, and must get a slot back before resuming. At width 1
+// this is exactly the no-deadlock property — without the release, the
+// second Run below could never be admitted and the first could never be
+// woken.
+func TestBlockReleasesSlot(t *testing.T) {
+	p := New(1)
+	woken := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		first <- p.Run(1, func(int) error {
+			p.Block(func() { <-woken })
+			return nil
+		})
+	}()
+	// This Run needs the pool's only slot; it is available only while
+	// the first cell is parked in Block.
+	if err := p.Run(1, func(int) error { close(woken); return nil }); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	select {
+	case err := <-first:
+		if err != nil {
+			t.Fatalf("first Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: blocked cell never resumed")
+	}
+}
+
+// TestAcquireReleaseBounds checks the exposed slot protocol counts
+// against the same semaphore Run uses: with the single slot held
+// externally, a Run cannot start a cell until Release.
+func TestAcquireReleaseBounds(t *testing.T) {
+	p := New(1)
+	p.Acquire()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(1, func(int) error { close(started); return nil })
+	}()
+	select {
+	case <-started:
+		t.Fatal("cell ran while the only slot was held externally")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run after Release: %v", err)
+	}
+	select {
+	case <-started:
+	default:
+		t.Fatal("cell never ran")
 	}
 }
