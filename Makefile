@@ -3,7 +3,7 @@ GO ?= go
 # Minimum per-package statement coverage (percent) for the cover gate.
 COVER_FLOOR ?= 60
 
-.PHONY: build vet detvet lint test short race race-mem race-machine race-passes race-interp race-cache bench bench-mem bench-machine bench-cache bench-interp-fused benchsmoke cachesmoke cover all check
+.PHONY: build vet detvet lint test short race race-mem race-machine race-passes race-interp race-cache race-serve bench bench-mem bench-machine bench-cache bench-interp-fused benchsmoke cachesmoke servesmoke cover all check
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,14 @@ race-cache:
 	$(GO) test -race ./internal/cache
 	$(GO) test -race ./internal/core -run 'TestCached|TestChaosKeys|TestTableDigest'
 
+# Focused race leg for the experiment service: the job store, bounded
+# queue, NDJSON streamers, and graceful shutdown all share state with
+# the worker goroutines and the cache/pool underneath; the whole suite
+# (byte-identity, duplicate coalescing, backpressure, cancellation,
+# shutdown leak checks, chaos replay) runs under the detector.
+race-serve:
+	$(GO) test -race -timeout 600s ./internal/serve
+
 # Full benchmark sweep, then regenerate BENCH_interp.json (interpreter
 # fast path vs reference engine vs the pinned seed baseline).
 bench:
@@ -112,6 +120,14 @@ benchsmoke:
 cachesmoke:
 	$(GO) run ./cmd/benchdiff -cache -quick
 
+# End-to-end daemon smoke: interweaved on an ephemeral port, one fig3
+# job submitted over HTTP and followed via the event stream, result
+# compared byte-for-byte (and by digest) against the registry run
+# directly in-process, then a clean drain; no timing, cheap enough for
+# check.
+servesmoke:
+	$(GO) run ./cmd/interweaved -smoke
+
 # Per-package coverage gate over the internal packages: fails if any
 # package tests below $(COVER_FLOOR)% of statements (or has no tests at
 # all). Uses -short so it stays cheap enough for check.
@@ -127,4 +143,4 @@ all:
 	$(GO) run ./cmd/interweave all
 
 # Standard local gate.
-check: build vet lint race race-mem race-machine race-passes race-interp race-cache cover benchsmoke cachesmoke
+check: build vet lint race race-mem race-machine race-passes race-interp race-cache race-serve cover benchsmoke cachesmoke servesmoke

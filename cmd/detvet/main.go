@@ -32,6 +32,11 @@ var defaultDirs = []string{
 	// construction and both storage tiers may not depend on map order,
 	// the wall clock, or global randomness (byte-identical warm runs).
 	"internal/cache",
+	// The experiment service sits on the result path: everything it
+	// serves must be byte-identical to the CLI. Wall-clock reads exist
+	// only for event timestamps and carry detvet:ok suppressions; any
+	// new one must justify itself the same way.
+	"internal/serve",
 }
 
 func main() {

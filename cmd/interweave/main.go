@@ -32,7 +32,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,13 +48,6 @@ import (
 	"repro/internal/passes"
 	"repro/internal/workloads"
 )
-
-// allExperiments is the canonical experiment order for `interweave all`.
-var allExperiments = []string{
-	"nautilus", "fig3", "fig4", "carat", "fig6", "fig7",
-	"virtine", "pipeline", "blending", "farmem", "consistency",
-	"riscv", "paging", "tasks",
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -101,166 +96,46 @@ func main() {
 		resultCache = cache.New(cache.Config{Dir: *cacheDir})
 	}
 
-	// stack applies the shared knobs to a freshly built stack.
-	stack := func(s *core.Stack) *core.Stack {
-		s.Seed = *seed
-		s.Parallel = *parallel
-		s.ChaosSeed = *chaosSeed
-		s.Shards = *shards
-		s.Cache = resultCache
-		return s
+	// The registry (internal/core) owns experiment dispatch and result
+	// addressing; the CLI's job is translating flags into a RunConfig
+	// and printing tables. `all` regenerates everything with every
+	// optional table on, trimming the sweep axes to the classic small-N
+	// points (SmallAxes): the 256–1024 CPU/core points take minutes
+	// each and belong to the explicit `fig3 -sweep` / `fig7 -sweep`
+	// invocations.
+	runner := &core.Runner{Parallel: *parallel, Shards: *shards, Cache: resultCache}
+	config := func(name string) core.RunConfig {
+		cfg := core.DefaultRunConfig(name)
+		cfg.CPUs = *cpus
+		cfg.Seed = *seed
+		cfg.ChaosSeed = *chaosSeed
+		cfg.Domains = *domains
+		cfg.Overheads = *overheads
+		cfg.Granularity = *granularity
+		cfg.Mobility = *mobility
+		cfg.MemStats = *memstats
+		cfg.EPCC = *epcc
+		cfg.Sweep = *sweep
+		cfg.Ablate = *ablate
+		cfg.SmallAxes = cmd == "all"
+		return cfg
+	}
+	run := func(name string) ([]*core.Table, error) {
+		tables, _, err := runner.Run(context.Background(), config(name), nil)
+		return tables, err
 	}
 
-	// `all` regenerates everything with every optional table on, so it
-	// trims the sweep axes to the classic small-N points: the 256–1024
-	// CPU/core points take minutes each and belong to the explicit
-	// `fig3 -sweep` / `fig7 -sweep` invocations.
-	smallAxes := cmd == "all"
-
-	// generate regenerates one experiment's tables, in order, into a
-	// slice; printing is the caller's job so `all` can serialize output.
-	generate := func(name string) []*core.Table {
-		var tables []*core.Table
-		emit := func(t *core.Table) { tables = append(tables, t) }
-		switch name {
-		case "nautilus":
-			emit(stack(core.NewStack(*cpus)).Primitives())
-		case "fig3":
-			s := stack(core.NewStack(16))
-			cfg := core.DefaultFig3Config()
-			cfg.Domains = *domains
-			emit(s.Fig3(cfg))
-			if *overheads {
-				emit(s.Fig3Overheads(cfg))
-			}
-			if *sweep {
-				if smallAxes {
-					emit(s.Fig3SweepCounts(20, []int{8, 16, 32, 64, 128}))
-				} else {
-					emit(s.Fig3Sweep(20))
-				}
-			}
-		case "fig4":
-			s := stack(core.KNLStack(1))
-			emit(s.Fig4())
-			if *granularity {
-				emit(s.GranularityLimit(0.5))
-			}
-		case "carat":
-			s := stack(core.NewStack(1))
-			emit(s.CARAT())
-			if *mobility {
-				emit(s.CARATMobility())
-			}
-			if *memstats {
-				emit(s.MemStats())
-			}
-		case "fig6":
-			s := stack(core.KNLStack(1))
-			emit(s.Fig6(core.DefaultFig6Config()))
-			if *epcc {
-				emit(s.EPCC(*cpus))
-				emit(s.Schedules(*cpus))
-			}
-		case "fig7":
-			s := stack(core.ServerStack())
-			emit(s.Fig7())
-			if *sweep {
-				if smallAxes {
-					emit(s.Fig7SweepCores([]int{8, 16, 24, 48}))
-				} else {
-					emit(s.Fig7Sweep())
-				}
-			}
-			if *ablate {
-				emit(s.AblationSharingClasses())
-			}
-		case "virtine":
-			emit(stack(core.NewStack(1)).Virtines())
-		case "pipeline":
-			emit(stack(core.NewStack(1)).Pipeline())
-		case "blending":
-			emit(stack(core.NewStack(1)).Blending())
-		case "farmem":
-			emit(stack(core.NewStack(1)).FarMemory())
-		case "consistency":
-			emit(stack(core.NewStack(1)).Consistency())
-		case "riscv":
-			emit(stack(core.NewStack(*cpus)).CrossISA())
-		case "paging":
-			emit(stack(core.NewStack(1)).Paging())
-		case "tasks":
-			emit(stack(core.KNLStack(1)).TaskGranularity(*cpus))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+	// fail reports an experiment failure: an invalid config prints
+	// usage and exits 2 (the registry validates what the old dispatch
+	// switch rejected inline), injected chaos faults print a replay
+	// hint and exit 3, everything else exits 1.
+	fail := func(err error) {
+		var cerr *core.ConfigError
+		if errors.As(err, &cerr) {
+			fmt.Fprintf(os.Stderr, "%s\n\n", cerr.Msg)
 			usage()
 			os.Exit(2)
 		}
-		return tables
-	}
-
-	// experimentKey canonicalizes one whole experiment invocation: name
-	// plus every knob that shapes its output. The version salt already
-	// covers code-side inputs (cost tables, kernel modules, platform
-	// models); -parallel and -shards are excluded because output is
-	// byte-identical at every setting.
-	experimentKey := func(name string) cache.Key {
-		if resultCache == nil {
-			return cache.Key{}
-		}
-		e := cache.NewEnc()
-		e.U64("salt", core.VersionSalt())
-		e.Str("experiment-tables", name)
-		e.Int("cpus", *cpus)
-		e.U64("seed", *seed)
-		e.U64("chaos-seed", *chaosSeed)
-		if *chaosSeed != 0 {
-			e.Str("chaos-config", fmt.Sprintf("%+v", chaos.DefaultConfig()))
-		}
-		e.Int("domains", *domains)
-		e.Bool("overheads", *overheads)
-		e.Bool("granularity", *granularity)
-		e.Bool("mobility", *mobility)
-		e.Bool("memstats", *memstats)
-		e.Bool("epcc", *epcc)
-		e.Bool("sweep", *sweep)
-		e.Bool("ablate", *ablate)
-		e.Bool("small-axes", smallAxes)
-		return e.Sum()
-	}
-
-	// run is generate behind the driver-level cache tier: a warm key
-	// returns the whole table set without touching the drivers (each
-	// table's digest re-verified); a cold one runs generate and stores.
-	run := func(name string) []*core.Table {
-		return core.CachedTables(resultCache, experimentKey(name),
-			func() []*core.Table { return generate(name) })
-	}
-
-	// runClean runs one experiment, converting a panic that carries an
-	// injected chaos fault into an error return. Experiment drivers
-	// panic on cell failure (runCells' discipline); under -chaos-seed a
-	// failure caused by an injected fault is an expected, typed outcome
-	// and should be reported cleanly, not as a stack trace.
-	runClean := func(name string) (tables []*core.Table, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				e, ok := r.(error)
-				if !ok {
-					panic(r)
-				}
-				if _, isFault := chaos.AsFault(e); !isFault {
-					panic(r)
-				}
-				err = e
-			}
-		}()
-		return run(name), nil
-	}
-
-	// fail reports an experiment failure: injected chaos faults print a
-	// replay hint and exit 3, everything else exits 1.
-	fail := func(err error) {
 		if fe, ok := chaos.AsFault(err); ok {
 			fmt.Fprintf(os.Stderr, "chaos: experiment failed by injected fault %s\n", fe.Fault)
 			fmt.Fprintf(os.Stderr, "chaos: replay with -chaos-seed %d (same seed, same fault trace)\n", *chaosSeed)
@@ -294,9 +169,10 @@ func main() {
 		// One goroutine per experiment on the same bounded pool the
 		// per-experiment cells use; tables buffer per experiment and
 		// print in canonical order once everything finished.
-		results, err := exp.Map(exp.New(*parallel), len(allExperiments),
+		ids := core.ExperimentIDs()
+		results, err := exp.Map(exp.New(*parallel), len(ids),
 			func(i int) ([]*core.Table, error) {
-				return runClean(allExperiments[i])
+				return run(ids[i])
 			})
 		if err != nil {
 			fail(err)
@@ -307,7 +183,7 @@ func main() {
 		report()
 		return
 	}
-	tables, err := runClean(cmd)
+	tables, err := run(cmd)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// runSmoke is the -smoke self-test: a daemon on an ephemeral loopback
+// port, one fig3 job driven entirely through the HTTP API, and the
+// result compared byte-for-byte against the registry run directly
+// in-process — the end-to-end form of the repo's standing guarantee
+// that the daemon adds nothing to the result path.
+func runSmoke(opts serve.Options) error {
+	srv := serve.New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("servesmoke: daemon on %s\n", base)
+
+	cfg := core.DefaultRunConfig("fig3")
+
+	// Submit over HTTP.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment": "fig3"}`))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("submit: decode: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	if want := serve.JobID(cfg); st.ID != want {
+		return fmt.Errorf("job ID %s != local key prefix %s", st.ID, want)
+	}
+	fmt.Printf("servesmoke: job %s accepted\n", st.ID)
+
+	// Follow the event stream to completion (bounded: fig3 takes a few
+	// seconds; 10 minutes covers the slowest CI hardware).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+st.ID+"/events", nil)
+	events, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+	defer events.Body.Close()
+	var cells int
+	var final string
+	dec := json.NewDecoder(events.Body)
+	for {
+		var ev serve.Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("events: decode: %w", err)
+		}
+		if ev.Type == "cell" {
+			cells++
+		}
+		final = ev.Type
+	}
+	if final != "done" {
+		return fmt.Errorf("job ended %q, want done", final)
+	}
+	fmt.Printf("servesmoke: job done (%d cell events)\n", cells)
+
+	// Fetch the rendered result and compare against a direct registry
+	// run: byte-identical or the daemon has touched the result path.
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: status %d err %v", resp.StatusCode, err)
+	}
+	digest := resp.Header.Get("X-Result-Digest")
+
+	runner := &core.Runner{}
+	tables, _, err := runner.Run(context.Background(), cfg, nil)
+	if err != nil {
+		return fmt.Errorf("direct run: %w", err)
+	}
+	var want bytes.Buffer
+	for _, t := range tables {
+		fmt.Fprintln(&want, t)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		return fmt.Errorf("daemon result differs from direct run (%d vs %d bytes)",
+			len(got), want.Len())
+	}
+	fmt.Printf("servesmoke: result byte-identical to direct run (digest %s)\n", digest)
+
+	// Drain cleanly.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("servesmoke: ok")
+	return nil
+}

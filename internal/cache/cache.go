@@ -1,9 +1,42 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 )
+
+// Source classifies where GetOrComputeCtx found a value: the experiment
+// service's per-cell progress events report it, so a client can watch
+// cache effectiveness cell by cell.
+type Source uint8
+
+const (
+	// SourceComputed: this caller was the flight leader and ran compute.
+	SourceComputed Source = iota
+	// SourceMem: served from the in-memory LRU.
+	SourceMem
+	// SourceDisk: served from the disk spill (and promoted to memory).
+	SourceDisk
+	// SourceCoalesced: served by another caller's in-flight compute.
+	SourceCoalesced
+)
+
+// String renders the source as its event-stream token.
+func (s Source) String() string {
+	switch s {
+	case SourceComputed:
+		return "computed"
+	case SourceMem:
+		return "mem"
+	case SourceDisk:
+		return "disk"
+	case SourceCoalesced:
+		return "coalesced"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
 
 // Config sizes a Cache. The zero Config is usable: 16 shards, 64 MiB
 // in-memory budget, no disk spill.
@@ -88,20 +121,26 @@ func New(cfg Config) *Cache {
 // Get looks k up in memory, then on disk; a disk hit is promoted into
 // memory. The returned bytes are shared — callers must not mutate them.
 func (c *Cache) Get(k Key) ([]byte, bool) {
+	v, _, ok := c.getSrc(k)
+	return v, ok
+}
+
+// getSrc is Get with the tier that served the value.
+func (c *Cache) getSrc(k Key) ([]byte, Source, bool) {
 	if v, ok := c.mem.get(k); ok {
-		return v, true
+		return v, SourceMem, true
 	}
 	if c.disk == nil {
-		return nil, false
+		return nil, SourceMem, false
 	}
 	c.spillReads.Add(1)
 	v, ok := c.disk.get(k)
 	if !ok {
-		return nil, false
+		return nil, SourceMem, false
 	}
 	c.spillHits.Add(1)
 	c.mem.put(k, v)
-	return v, true
+	return v, SourceDisk, true
 }
 
 // Put stores k→v in memory and writes it through to disk (best-effort).
@@ -134,25 +173,53 @@ func (c *Cache) Put(k Key, v []byte) {
 // leader's goroutine only; its waiters receive an error wrapping
 // ErrLeaderPanic.
 func (c *Cache) GetOrCompute(k Key, slots Slots, held bool, compute func() ([]byte, error)) ([]byte, error) {
-	if v, ok := c.Get(k); ok {
-		return v, nil
-	}
-	fc, leader := c.flight.join(k)
-	if !leader {
-		c.coalesced.Add(1)
-		if slots != nil && held {
+	v, _, err := c.GetOrComputeCtx(context.Background(), k, slots, held, compute)
+	return v, err
+}
+
+// GetOrComputeCtx is GetOrCompute with caller-side cancellation and the
+// serving tier reported alongside the bytes. ctx governs this caller's
+// waiting only — admission and coalesced parking — never a running
+// compute: a leader whose compute has started runs it to completion and
+// stores the result, so cancellation can never leave a partial entry in
+// the cache (complete results are cached, abandoned ones simply are
+// not). A leader that observes cancellation *before* computing retires
+// the flight with ErrLeaderCancelled; waiters whose own context is
+// still live then retry the key instead of inheriting the
+// cancellation.
+func (c *Cache) GetOrComputeCtx(ctx context.Context, k Key, slots Slots, held bool, compute func() ([]byte, error)) ([]byte, Source, error) {
+	for {
+		if v, src, ok := c.getSrc(k); ok {
+			return v, src, nil
+		}
+		fc, leader := c.flight.join(k)
+		if !leader {
+			c.coalesced.Add(1)
 			var v []byte
 			var err error
-			slots.Block(func() { v, err = fc.wait() })
-			return v, err
+			if slots != nil && held {
+				slots.Block(func() { v, err = fc.waitCtx(ctx) })
+			} else {
+				v, err = fc.waitCtx(ctx)
+			}
+			if errors.Is(err, ErrLeaderCancelled) && ctx.Err() == nil {
+				continue // the key is untried, not failed; run our own flight
+			}
+			return v, SourceCoalesced, err
 		}
-		return fc.wait()
+		return c.lead(ctx, k, fc, slots, held, compute)
 	}
-	// Leader. Between the miss above and join, another leader may have
+}
+
+// lead runs the leader side of one flight: admission, the compute, the
+// store, and the flight's retirement (on success, failure, panic, or
+// pre-compute cancellation).
+func (c *Cache) lead(ctx context.Context, k Key, fc *flightCall, slots Slots, held bool, compute func() ([]byte, error)) ([]byte, Source, error) {
+	// Between the caller's miss and its join, another leader may have
 	// finished and populated the cache; re-check before computing.
-	if v, ok := c.Get(k); ok {
+	if v, src, ok := c.getSrc(k); ok {
 		c.flight.finish(k, fc, v, nil)
-		return v, nil
+		return v, src, nil
 	}
 	finished := false
 	defer func() {
@@ -164,6 +231,13 @@ func (c *Cache) GetOrCompute(k Key, slots Slots, held bool, compute func() ([]by
 		slots.Acquire()
 		defer slots.Release()
 	}
+	// Cancelled before the compute started (possibly while blocked in
+	// admission above): retire the flight without touching the cache.
+	if err := ctx.Err(); err != nil {
+		finished = true
+		c.flight.finish(k, fc, nil, fmt.Errorf("%w: %w", ErrLeaderCancelled, err))
+		return nil, SourceComputed, err
+	}
 	c.computes.Add(1)
 	v, err := compute()
 	finished = true
@@ -171,7 +245,7 @@ func (c *Cache) GetOrCompute(k Key, slots Slots, held bool, compute func() ([]by
 		c.Put(k, v)
 	}
 	c.flight.finish(k, fc, v, err)
-	return v, err
+	return v, SourceComputed, err
 }
 
 // Stats snapshots the cache's counters. Taken shard by shard, so under

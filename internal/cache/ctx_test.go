@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chanSlots is a minimal Slots implementation over a buffered channel,
+// mirroring exp.Pool's semaphore without importing it (no cycle).
+type chanSlots chan struct{}
+
+func (s chanSlots) Acquire() { s <- struct{}{} }
+func (s chanSlots) Release() { <-s }
+func (s chanSlots) Block(wait func()) {
+	s.Release()
+	defer s.Acquire()
+	wait()
+}
+
+// TestGetOrComputeCtxSources walks one key through every serving tier
+// and checks the reported Source at each step.
+func TestGetOrComputeCtxSources(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	ctx := context.Background()
+	k := NewEnc().Str("k", "sources").Sum()
+	compute := func() ([]byte, error) { return []byte("v"), nil }
+
+	c := New(Config{Dir: dir})
+	if _, src, err := c.GetOrComputeCtx(ctx, k, nil, false, compute); err != nil || src != SourceComputed {
+		t.Fatalf("cold: src %v err %v, want computed", src, err)
+	}
+	if _, src, err := c.GetOrComputeCtx(ctx, k, nil, false, compute); err != nil || src != SourceMem {
+		t.Fatalf("warm: src %v err %v, want mem", src, err)
+	}
+	// A fresh cache over the same directory simulates a restart: the
+	// value must come back from disk and be promoted.
+	c2 := New(Config{Dir: dir})
+	if _, src, err := c2.GetOrComputeCtx(ctx, k, nil, false, compute); err != nil || src != SourceDisk {
+		t.Fatalf("restart: src %v err %v, want disk", src, err)
+	}
+	if _, src, err := c2.GetOrComputeCtx(ctx, k, nil, false, compute); err != nil || src != SourceMem {
+		t.Fatalf("promoted: src %v err %v, want mem", src, err)
+	}
+}
+
+// TestWaiterCancelledWhileLeaderComputes: a coalesced waiter whose
+// context ends while the leader is mid-compute returns its ctx error
+// without disturbing the flight — the leader still completes, caches
+// the value, and later callers hit.
+func TestWaiterCancelledWhileLeaderComputes(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := NewEnc().Str("k", "waiter-cancel").Sum()
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, src, err := c.GetOrComputeCtx(context.Background(), k, nil, false, func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("slow"), nil
+		})
+		if err != nil || src != SourceComputed {
+			t.Errorf("leader: src %v err %v", src, err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrComputeCtx(ctx, k, nil, false, func() ([]byte, error) {
+			return nil, errors.New("waiter must not compute")
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter time to join the flight, then cancel it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return while leader still computing")
+	}
+
+	close(release)
+	wg.Wait()
+	if v, src, err := c.GetOrComputeCtx(context.Background(), k, nil, false, nil); err != nil || src != SourceMem || string(v) != "slow" {
+		t.Fatalf("after leader finished: %q src %v err %v, want cached \"slow\"", v, src, err)
+	}
+	if st := c.Stats(); st.Computes != 1 {
+		t.Fatalf("computes = %d, want 1", st.Computes)
+	}
+}
+
+// TestLeaderCancelledWaiterRetries: a leader cancelled before its
+// compute starts (parked in slot admission) retires the flight with
+// ErrLeaderCancelled; a live waiter coalesced behind it must not
+// inherit the cancellation — it retries, becomes leader, and computes.
+func TestLeaderCancelledWaiterRetries(t *testing.T) {
+	t.Parallel()
+	c := New(Config{})
+	k := NewEnc().Str("k", "leader-cancel").Sum()
+	slots := make(chanSlots, 1)
+	slots.Acquire() // occupy the only slot so the leader parks in admission
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrComputeCtx(lctx, k, slots, false, func() ([]byte, error) {
+			return nil, errors.New("cancelled leader must not compute")
+		})
+		leaderErr <- err
+	}()
+	// Let the leader join the flight and block in Acquire, then attach
+	// a live waiter behind it.
+	time.Sleep(10 * time.Millisecond)
+	waiterVal := make(chan string, 1)
+	go func() {
+		v, _, err := c.GetOrComputeCtx(context.Background(), k, nil, false, func() ([]byte, error) {
+			return []byte("retried"), nil
+		})
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		waiterVal <- string(v)
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	lcancel()
+	slots.Release() // unblock admission; leader sees its dead ctx
+	select {
+	case err := <-leaderErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("leader error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled leader did not return")
+	}
+	select {
+	case v := <-waiterVal:
+		if v != "retried" {
+			t.Fatalf("waiter value = %q, want \"retried\"", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not retry after leader cancellation")
+	}
+	if st := c.Stats(); st.Computes != 1 {
+		t.Fatalf("computes = %d, want 1 (the waiter's retry)", st.Computes)
+	}
+	// The slot protocol stayed balanced: the slot is free again.
+	select {
+	case slots <- struct{}{}:
+	default:
+		t.Fatal("slot leaked: cancelled leader did not release admission")
+	}
+}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,14 @@ import (
 // second panic so one faulty cell fails exactly the cells that depend
 // on it, each on its own goroutine.
 var ErrLeaderPanic = errors.New("cache: coalesced leader panicked")
+
+// ErrLeaderCancelled is the error a flight finishes with when its
+// leader's context ended before the compute ran. Unlike a compute
+// failure it says nothing about the key itself, so GetOrComputeCtx
+// waiters whose own context is still live treat it as "try again"
+// rather than a failure: one cancelled submitter must not fail the
+// other callers coalesced behind it.
+var ErrLeaderCancelled = errors.New("cache: coalesced leader cancelled")
 
 // flightGroup deduplicates in-flight computes per key: the first caller
 // to join a key becomes the leader and runs the compute; callers
@@ -69,4 +78,17 @@ func (c *flightCall) wait() ([]byte, error) {
 		return nil, fmt.Errorf("cache: coalesced compute failed: %w", c.err)
 	}
 	return c.val, nil
+}
+
+// waitCtx is wait with caller-side cancellation: a waiter whose own
+// context ends stops waiting and returns its ctx error. The flight
+// itself is unaffected — the leader keeps computing and other waiters
+// keep waiting; abandoning a flight never contaminates the cache.
+func (c *flightCall) waitCtx(ctx context.Context) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.wait()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }

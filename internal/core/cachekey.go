@@ -2,12 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
 
 	"repro/internal/cache"
-	"repro/internal/chaos"
 	"repro/internal/exp"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -20,7 +20,11 @@ import (
 // way the salt's structural inputs (cost tables, kernel modules,
 // platform models) cannot see — stale on-disk entries then miss instead
 // of serving the old results.
-const cacheSchemaVersion = 1
+//
+// v2: the runnable-job registry (RunConfig.Key) replaced the CLI's
+// ad-hoc experiment keys, and chaos keys carry the effective (possibly
+// overridden) fault config.
+const cacheSchemaVersion = 2
 
 // VersionSalt is the code-version component of every cache key: an
 // FNV-1a fingerprint over the schema version, the interpreter cost
@@ -112,7 +116,7 @@ func (s *Stack) KeyEnc(experiment string) *cache.Enc {
 	e.U64("seed", s.Seed)
 	e.U64("chaos-seed", s.ChaosSeed)
 	if s.ChaosSeed != 0 {
-		e.Str("chaos-config", fmt.Sprintf("%+v", chaos.DefaultConfig()))
+		e.Str("chaos-config", fmt.Sprintf("%+v", s.chaosConfig()))
 	}
 	return e
 }
@@ -153,25 +157,36 @@ func decodeCell[T any](b []byte) (T, bool) {
 // cachedCell runs one cell through the stack's cache: hit returns the
 // decoded bytes, miss computes (coalescing duplicate in-flight keys)
 // and stores. p is the pool whose slot the calling cell holds — a
-// coalesced waiter releases it while parked (see cache.Slots).
-func cachedCell[T any](s *Stack, p *exp.Pool, driver cache.Key, i, n int, fn func() T) T {
-	if s.Cache == nil || driver.IsZero() {
-		return fn()
+// coalesced waiter releases it while parked (see cache.Slots). driver
+// names the driver for the stack's Observe events; key is the driver's
+// canonical cache key.
+func cachedCell[T any](s *Stack, p *exp.Pool, driver string, key cache.Key, i, n int, fn func() T) T {
+	observe := func(src cache.Source) {
+		if s.Observe != nil {
+			s.Observe(CellEvent{Driver: driver, Cell: i, Of: n, Source: src})
+		}
 	}
-	ck := cellKey(driver, i, n)
-	buf, err := s.Cache.GetOrCompute(ck, p, true, func() ([]byte, error) {
+	if s.Cache == nil || key.IsZero() {
+		v := fn()
+		observe(cache.SourceComputed)
+		return v
+	}
+	ck := cellKey(key, i, n)
+	buf, src, err := s.Cache.GetOrComputeCtx(s.ctx(), ck, p, true, func() ([]byte, error) {
 		return encodeCell(fn()), nil
 	})
 	if err != nil {
-		// Coalesced-leader failure: surface it as this cell's failure
-		// (runCells panics, exp converts to a *CellError).
+		// Coalesced-leader failure or cancellation: surface it as this
+		// cell's failure (runCells panics, exp converts to a *CellError).
 		panic(err)
 	}
 	if v, ok := decodeCell[T](buf); ok {
+		observe(src)
 		return v
 	}
 	v := fn()
 	s.Cache.Put(ck, encodeCell(v))
+	observe(cache.SourceComputed)
 	return v
 }
 
@@ -190,19 +205,35 @@ type tablesPayload struct {
 // validity) is treated as a miss and recomputed. A nil cache or zero
 // key just runs gen.
 func CachedTables(c *cache.Cache, key cache.Key, gen func() []*Table) []*Table {
-	if c == nil || key.IsZero() {
-		return gen()
+	ts, _, err := CachedTablesCtx(context.Background(), c, key, gen)
+	if err != nil {
+		panic(err)
 	}
-	buf, err := c.GetOrCompute(key, nil, false, func() ([]byte, error) {
+	return ts
+}
+
+// CachedTablesCtx is CachedTables with caller-side cancellation and the
+// serving tier reported: the registry's Runner uses it so duplicate
+// concurrent jobs coalesce at the whole-driver tier too, and so a
+// queued duplicate can be cancelled without disturbing the leader. The
+// error is a cancellation or a coalesced-leader failure; gen itself
+// still panics on driver faults (the package's discipline), which the
+// caller's recover sees on the leader's goroutine.
+func CachedTablesCtx(ctx context.Context, c *cache.Cache, key cache.Key, gen func() []*Table) ([]*Table, cache.Source, error) {
+	if c == nil || key.IsZero() {
+		return gen(), cache.SourceComputed, nil
+	}
+	encode := func() ([]byte, error) {
 		ts := gen()
 		p := tablesPayload{Tables: ts, Digests: make([]uint64, len(ts))}
 		for i, t := range ts {
 			p.Digests[i] = t.Digest()
 		}
 		return encodeCell(p), nil
-	})
+	}
+	buf, src, err := c.GetOrComputeCtx(ctx, key, nil, false, encode)
 	if err != nil {
-		panic(err)
+		return nil, src, err
 	}
 	if p, ok := decodeCell[tablesPayload](buf); ok && len(p.Tables) == len(p.Digests) {
 		intact := true
@@ -213,7 +244,7 @@ func CachedTables(c *cache.Cache, key cache.Key, gen func() []*Table) []*Table {
 			}
 		}
 		if intact {
-			return p.Tables
+			return p.Tables, src, nil
 		}
 	}
 	ts := gen()
@@ -222,5 +253,5 @@ func CachedTables(c *cache.Cache, key cache.Key, gen func() []*Table) []*Table {
 		p.Digests[i] = t.Digest()
 	}
 	c.Put(key, encodeCell(p))
-	return ts
+	return ts, cache.SourceComputed, nil
 }

@@ -57,7 +57,7 @@ func (s *Stack) CARAT() *Table {
 	// One cell per kernel: each cell runs the kernel's base, naive,
 	// hoisted, eliminated, and optimized configurations on its own
 	// interpreter instances.
-	for _, r := range runCells(s, e.Sum(), len(suite), func(i int) caratResult {
+	for _, r := range runCells(s, "carat", e.Sum(), len(suite), func(i int) caratResult {
 		return s.caratKernel(suite[i])
 	}) {
 		naiveOvh = append(naiveOvh, 1+r.NaiveOverhead)

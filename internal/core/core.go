@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -175,21 +176,82 @@ type Stack struct {
 	// runs are byte-identical; the cache only changes wall-clock.
 	// Stacks derived with WithCPUs inherit it.
 	Cache *cache.Cache
+	// ChaosConfig overrides the fault rates a nonzero ChaosSeed arms
+	// (nil means chaos.DefaultConfig()). It is a result coordinate:
+	// KeyEnc folds the effective config into every armed key.
+	ChaosConfig *chaos.Config
+	// Pool, when non-nil, is the worker pool every driver admits its
+	// cells through, instead of a fresh exp.New(Parallel) per driver
+	// call. A long-running service sets one shared pool on every stack
+	// it builds, so total cell concurrency across all concurrent jobs
+	// stays bounded and coalesced cache waiters hand their slots to the
+	// leaders computing their results on the same semaphore.
+	Pool *exp.Pool
+	// Ctx, when non-nil, cancels the stack's drivers between cells:
+	// cells that have not started when Ctx ends are skipped and the
+	// driver fails with Ctx's error. Cells already running — including
+	// cache-flight leaders — always run to completion, so cancellation
+	// never leaves a partial result in the cache. Nil means never
+	// cancelled.
+	Ctx context.Context
+	// Observe, when non-nil, receives a CellEvent as each experiment
+	// cell completes, with the cache tier that served it. At Parallel 1
+	// the sequence is deterministic (cells complete in index order);
+	// wider pools report completion order.
+	Observe func(CellEvent)
 }
 
-// pool returns the worker pool for this stack's experiment cells.
-func (s *Stack) pool() *exp.Pool { return exp.New(s.Parallel) }
+// CellEvent reports the completion of one experiment cell — the
+// progress granule the experiment service streams to clients.
+type CellEvent struct {
+	Driver string       // driver id, e.g. "fig3-sweep"
+	Cell   int          // cell index within the driver invocation
+	Of     int          // total cells in the driver invocation
+	Source cache.Source // tier that served the result
+}
+
+// ctx returns the stack's context, never nil.
+func (s *Stack) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// chaosConfig returns the fault rates a nonzero ChaosSeed arms.
+func (s *Stack) chaosConfig() chaos.Config {
+	if s.ChaosConfig != nil {
+		return *s.ChaosConfig
+	}
+	return chaos.DefaultConfig()
+}
+
+// pool returns the worker pool for this stack's experiment cells: the
+// shared Pool when one is set, else a fresh pool of width Parallel.
+func (s *Stack) pool() *exp.Pool {
+	if s.Pool != nil {
+		return s.Pool
+	}
+	return exp.New(s.Parallel)
+}
 
 // runCells evaluates n independent experiment cells on s's pool and
 // returns the results in index order, panicking on any cell failure
-// (the drivers' error discipline throughout this package). key is the
-// driver's canonical cache key (from KeyEnc); when the stack carries a
-// cache, each cell is looked up / stored under (key, i, n), with
-// duplicate in-flight cells coalesced across concurrent drivers.
-func runCells[T any](s *Stack, key cache.Key, n int, fn func(i int) T) []T {
+// (the drivers' error discipline throughout this package). driver is
+// the driver id (the same string its KeyEnc was started with) and key
+// its canonical cache key; when the stack carries a cache, each cell is
+// looked up / stored under (key, i, n), with duplicate in-flight cells
+// coalesced across concurrent drivers. When the stack's Ctx ends,
+// cells that have not started are skipped and the cancellation
+// surfaces through the driver's panic as a *exp.CellError chain.
+func runCells[T any](s *Stack, driver string, key cache.Key, n int, fn func(i int) T) []T {
 	p := s.pool()
 	out, err := exp.Map(p, n, func(i int) (T, error) {
-		return cachedCell(s, p, key, i, n, func() T { return fn(i) }), nil
+		if err := s.ctx().Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return cachedCell(s, p, driver, key, i, n, func() T { return fn(i) }), nil
 	})
 	if err != nil {
 		panic(err)
@@ -249,7 +311,7 @@ func (s *Stack) Build() (sim.Sim, *machine.Machine) {
 	}
 	m := machine.New(eng, s.Model, s.Topo, s.Seed)
 	if s.ChaosSeed != 0 {
-		ArmChaos(m, chaos.NewPlan(s.ChaosSeed, chaos.DefaultConfig()))
+		ArmChaos(m, chaos.NewPlan(s.ChaosSeed, s.chaosConfig()))
 	}
 	return eng, m
 }

@@ -69,7 +69,7 @@ func (s *Stack) Fig3(cfg Fig3Config) *Table {
 	}
 	e := s.KeyEnc("fig3")
 	cfg.enc(e)
-	for _, row := range runCells(s, e.Sum(), len(cs), func(i int) []string {
+	for _, row := range runCells(s, "fig3", e.Sum(), len(cs), func(i int) []string {
 		c := cs[i]
 		period := s.Model.MicrosToCycles(c.us)
 		target := 1e6 / float64(period)
@@ -101,7 +101,7 @@ func (s *Stack) Fig3Overheads(cfg Fig3Config) *Table {
 	}
 	e := s.KeyEnc("fig3-overheads")
 	cfg.enc(e)
-	for _, row := range runCells(s, e.Sum(), len(subs), func(i int) []string {
+	for _, row := range runCells(s, "fig3-overheads", e.Sum(), len(subs), func(i int) []string {
 		rt := s.heartbeatRun(cfg, subs[i], period)
 		var promos int64
 		for w := 0; w < rt.NumWorkers(); w++ {
@@ -182,7 +182,7 @@ func (s *Stack) Fig3SweepCounts(periodUS float64, cpuCounts []int) *Table {
 	e.Ints("cpu-counts", cpuCounts)
 	// One cell per (CPU count, substrate) point; rows are assembled from
 	// the index-ordered results, so output is identical at any pool width.
-	ratios := runCells(s, e.Sum(), len(cpuCounts)*len(subs), func(i int) string {
+	ratios := runCells(s, "fig3-sweep", e.Sum(), len(cpuCounts)*len(subs), func(i int) string {
 		cfg := DefaultFig3Config()
 		cfg.CPUs = cpuCounts[i/len(subs)]
 		cfg.Items = Fig3SweepItems(cfg.CPUs)

@@ -64,7 +64,7 @@ func (s *Stack) Fig6(cfg Fig6Config) *Table {
 	}
 	// One cell per (kernel, CPU count): the four runtime modes run on
 	// the cell's own machines.
-	results := runCells(s, e.Sum(), len(cs), func(i int) res {
+	results := runCells(s, "fig6", e.Sum(), len(cs), func(i int) res {
 		c := cs[i]
 		base := s.ompRun(omp.ModeLinux, c.cpus, c.k)
 		rtk := s.ompRun(omp.ModeRTK, c.cpus, c.k)

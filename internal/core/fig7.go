@@ -27,7 +27,7 @@ func (s *Stack) Fig7() *Table {
 	var speedups, energySavings []float64
 	e := s.KeyEnc("fig7")
 	encPBBS(e, benches)
-	results := runCells(s, e.Sum(), len(benches), func(i int) res {
+	results := runCells(s, "fig7", e.Sum(), len(benches), func(i int) res {
 		base := s.coherenceRun(benches[i], false, 0)
 		fast := s.coherenceRun(benches[i], true, 0)
 		return res{
@@ -81,7 +81,7 @@ func (s *Stack) Fig7SweepCores(coreCounts []int) *Table {
 	// cross product runs concurrently and is averaged in canonical order.
 	nPer := len(benches)
 	nCfg := len(coreCounts) * len(latencies)
-	pts := runCells(s, e.Sum(), nCfg*nPer, func(i int) point {
+	pts := runCells(s, "fig7-sweep", e.Sum(), nCfg*nPer, func(i int) point {
 		cfgIdx, b := i/nPer, benches[i%nPer]
 		cores := coreCounts[cfgIdx/len(latencies)]
 		latX := latencies[cfgIdx%len(latencies)]
@@ -132,7 +132,7 @@ func (s *Stack) AblationSharingClasses() *Table {
 	// Cells: baseline, full deactivation, then one per kept class. The
 	// per-class ablation reuses the same trace but reclassifies regions,
 	// handled by filtering inside each run.
-	systems := runCells(s, e.Sum(), 2+len(classes), func(i int) ablationMetrics {
+	systems := runCells(s, "fig7-ablation", e.Sum(), 2+len(classes), func(i int) ablationMetrics {
 		var sys *coherence.System
 		switch i {
 		case 0:

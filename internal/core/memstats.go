@@ -33,7 +33,7 @@ func (s *Stack) MemStats() *Table {
 	for _, k := range suite {
 		e.Str("kernel", k.Name)
 	}
-	for _, r := range runCells(s, e.Sum(), len(suite), func(i int) memStatsResult {
+	for _, r := range runCells(s, "memstats", e.Sum(), len(suite), func(i int) memStatsResult {
 		return memStatsKernel(suite[i])
 	}) {
 		t.AddRow(r.Name, i64(int64(r.St.Allocs)), i64(int64(r.St.Frees)),

@@ -93,7 +93,7 @@ func (s *Stack) Virtines() *Table {
 	p := s.pool()
 	svcRes, err := exp.MapRNG(p, sim.NewRNG(s.Seed), len(cfgs),
 		func(i int, rng *sim.RNG) (virtine.ServiceResult, error) {
-			return cachedCell(s, p, key, i, len(cfgs), func() virtine.ServiceResult {
+			return cachedCell(s, p, "virtine-svc", key, i, len(cfgs), func() virtine.ServiceResult {
 				c := cfgs[i]
 				c.RNG = rng
 				return virtine.SimulateService(c)

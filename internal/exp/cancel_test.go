@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBlockReacquireUnderCancelledWait pins the Block/Acquire ordering
+// contract under cancellation — the interleaving the PR 9 deadlock
+// tests never drove: a coalesced waiter holds a slot, Blocks (returning
+// the slot), a slotless leader takes it, and then the *waiter* is
+// cancelled while the leader still holds the slot.
+//
+// The contract: the waiter's wait closure may return early (its
+// context died), but Block must still reacquire a slot before
+// returning — the caller's balancing Release fires unconditionally, so
+// skipping the reacquire would either underflow the semaphore or steal
+// the leader's token. Consequences pinned here:
+//
+//   - the cancelled waiter's Block returns only after the leader
+//     releases (ordering: reacquire waits its turn, never jumps it);
+//   - afterwards the pool still admits exactly Workers() concurrent
+//     holders (no token leaked, none minted);
+//   - Blocked drops back to zero once the waiter is out.
+func TestBlockReacquireUnderCancelledWait(t *testing.T) {
+	t.Parallel()
+	p := New(1)
+
+	// Waiter: takes the only slot (it is a cell), then parks in Block
+	// on a wait that ends when its context is cancelled, not when the
+	// leader finishes — the cancelled-waiter path.
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderDone := make(chan struct{})
+	leaderHasSlot := make(chan struct{})
+	waiterOut := make(chan struct{})
+	var leaderReleased atomic.Bool
+
+	p.Acquire()
+	go func() {
+		p.Block(func() {
+			select {
+			case <-ctx.Done():
+			case <-leaderDone:
+			}
+		})
+		// Block returned: the reacquire must have waited for the
+		// leader's release, never preempted it.
+		if !leaderReleased.Load() {
+			t.Error("Block returned while the leader still held the slot")
+		}
+		p.Release()
+		close(waiterOut)
+	}()
+
+	// Leader: slotless caller admitted by the waiter's Block.
+	go func() {
+		p.Acquire()
+		close(leaderHasSlot)
+		// Hold the slot long enough that the cancelled waiter's
+		// reacquire is genuinely concurrent with the hold.
+		time.Sleep(50 * time.Millisecond)
+		leaderReleased.Store(true)
+		p.Release()
+		close(leaderDone)
+	}()
+
+	<-leaderHasSlot
+	if got := p.Stats(); got.Blocked != 1 || got.Active != 1 {
+		t.Fatalf("mid-flight stats = %+v, want Blocked 1, Active 1", got)
+	}
+	cancel() // cancel the waiter while the leader holds the slot
+
+	select {
+	case <-waiterOut:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never got back out of Block")
+	}
+
+	// The pool must be exactly balanced: one Acquire proceeds, a second
+	// would block.
+	p.Acquire()
+	select {
+	case p.sem <- struct{}{}:
+		t.Fatal("pool admitted a second holder at width 1: token minted by cancellation path")
+	default:
+	}
+	p.Release()
+	if got := p.Stats(); got.Blocked != 0 || got.Active != 0 {
+		t.Fatalf("final stats = %+v, want Blocked 0, Active 0", got)
+	}
+}
+
+// TestBlockCancelledWaiterRacesQueuedAcquirer adds a third caller: the
+// waiter is cancelled while the leader holds the slot AND another
+// acquirer is already queued. Both the waiter's reacquire and the
+// queued acquirer must eventually proceed, and the pool must never
+// admit two holders at once.
+func TestBlockCancelledWaiterRacesQueuedAcquirer(t *testing.T) {
+	t.Parallel()
+	p := New(1)
+	var active, maxActive atomic.Int64
+	hold := func(d time.Duration) {
+		if a := active.Add(1); a > maxActive.Load() {
+			maxActive.Store(a)
+		}
+		if active.Load() > 1 {
+			t.Error("two holders admitted at width 1")
+		}
+		time.Sleep(d)
+		active.Add(-1)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	done := make(chan struct{}, 3)
+
+	p.Acquire() // waiter's cell slot
+	go func() { // waiter
+		p.Block(func() { <-ctx.Done() })
+		hold(5 * time.Millisecond)
+		p.Release()
+		done <- struct{}{}
+	}()
+	go func() { // leader
+		p.Acquire()
+		close(leaderIn)
+		hold(30 * time.Millisecond)
+		p.Release()
+		done <- struct{}{}
+	}()
+	<-leaderIn
+	go func() { // third caller, queued behind the leader
+		p.Acquire()
+		hold(5 * time.Millisecond)
+		p.Release()
+		done <- struct{}{}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the third caller queue up
+	cancel()
+
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("caller %d never finished: cancellation broke the slot handoff", i)
+		}
+	}
+	if got := p.Stats(); got.Active != 0 || got.Blocked != 0 {
+		t.Fatalf("final stats = %+v, want all zero", got)
+	}
+}
+
+// TestStatsCells: the lifetime cell counter counts cells across both
+// the inline (width 1) and goroutine Run paths.
+func TestStatsCells(t *testing.T) {
+	t.Parallel()
+	for _, w := range []int{1, 4} {
+		p := New(w)
+		if err := p.Run(9, func(int) error { return nil }); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if got := p.Stats(); got.Cells != 9 || got.Workers != w {
+			t.Fatalf("width %d: stats = %+v, want Cells 9", w, got)
+		}
+	}
+	// Counter survives goroutine churn.
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -78,6 +79,28 @@ func EngineWorkers(poolWorkers, shards int) int {
 type Pool struct {
 	workers int
 	sem     chan struct{}
+	blocked atomic.Int64  // callers currently parked in Block
+	cells   atomic.Uint64 // cells started over the pool's lifetime
+}
+
+// PoolStats is a point-in-time snapshot of pool activity — the
+// admission-control counters a long-running service reports. Taken
+// field by field, so concurrent traffic makes it approximate.
+type PoolStats struct {
+	Workers int    // concurrency bound
+	Active  int    // worker slots currently held
+	Blocked int    // callers parked in Block (slot returned to the pool)
+	Cells   uint64 // cells started since the pool was created
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers: p.workers,
+		Active:  len(p.sem),
+		Blocked: int(p.blocked.Load()),
+		Cells:   p.cells.Load(),
+	}
 }
 
 // New returns a pool running at most workers cells concurrently.
@@ -107,6 +130,8 @@ func (p *Pool) Release() { <-p.sem }
 // Block frees the only slot, so the leader computing its result can
 // always be admitted — N duplicate submissions can never deadlock.
 func (p *Pool) Block(wait func()) {
+	p.blocked.Add(1)
+	defer p.blocked.Add(-1)
 	p.Release()
 	defer p.Acquire()
 	wait()
@@ -148,6 +173,7 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 		// concurrent Run on the same pool stays bounded at one cell.
 		for i := 0; i < n; i++ {
 			p.Acquire()
+			p.cells.Add(1)
 			errs[i] = runCell(i, fn)
 			p.Release()
 		}
@@ -168,6 +194,7 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 			defer wg.Done()
 			p.Acquire()
 			defer p.Release()
+			p.cells.Add(1)
 			errs[i] = runCell(i, fn)
 		}(i)
 	}

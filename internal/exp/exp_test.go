@@ -6,8 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )

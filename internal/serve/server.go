@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// JobStatus is the JSON body of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string    `json:"id"`
+	State  State     `json:"state"`
+	Config JobConfig `json:"config"`
+	// Deduplicated is set on submission responses when the submission
+	// coalesced onto an already-live or already-done job.
+	Deduplicated bool `json:"deduplicated,omitempty"`
+	// Terminal-success fields.
+	Tables int    `json:"tables,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Terminal-failure fields.
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// status renders a job's current status body.
+func status(j *Job, dedup bool) JobStatus {
+	st, tables, digest, src, code, errMsg := j.snapshot()
+	out := JobStatus{
+		ID:           j.ID,
+		State:        st,
+		Config:       WireConfig(j.Config),
+		Deduplicated: dedup,
+		Code:         code,
+		Error:        errMsg,
+	}
+	if st == StateDone {
+		out.Tables = tables
+		out.Digest = digest
+		out.Source = src.String()
+	}
+	return out
+}
+
+// Handler returns the service's HTTP routes:
+//
+//	POST   /v1/jobs           submit one job
+//	POST   /v1/jobs/batch     submit many (per-item results)
+//	GET    /v1/jobs/{id}      job status
+//	GET    /v1/jobs/{id}/result  rendered tables (text; X-Result-Digest)
+//	GET    /v1/jobs/{id}/events  NDJSON progress stream
+//	DELETE /v1/jobs/{id}      cancel
+//	GET    /v1/stats          queue/pool/cache/job counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return maxBytes(muxErrorsAsJSON(mux))
+}
+
+// maxBytes caps request bodies before any handler reads them.
+func maxBytes(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// muxErrorsAsJSON rewrites ServeMux's own plain-text 404 (no route)
+// and 405 (path matches under a different verb) into the service's
+// JSON error envelope. The service's handlers are left alone: they
+// always set application/json before writing, which is the tell.
+func muxErrorsAsJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&muxErrWriter{ResponseWriter: w, method: r.Method, path: r.URL.Path}, r)
+	})
+}
+
+type muxErrWriter struct {
+	http.ResponseWriter
+	method, path string
+	rewrote      bool
+}
+
+func (w *muxErrWriter) WriteHeader(code int) {
+	fromMux := w.Header().Get("Content-Type") != "application/json"
+	if fromMux && code == http.StatusMethodNotAllowed {
+		w.rewrote = true
+		w.Header().Del("Content-Type")
+		writeError(w.ResponseWriter, code, CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed on %s", w.method, w.path))
+		return
+	}
+	if fromMux && code == http.StatusNotFound {
+		w.rewrote = true
+		w.Header().Del("Content-Type")
+		w.Header().Del("X-Content-Type-Options")
+		writeError(w.ResponseWriter, code, CodeNotFound,
+			fmt.Sprintf("no route %s %s", w.method, w.path))
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *muxErrWriter) Write(b []byte) (int, error) {
+	if w.rewrote {
+		return len(b), nil // swallow the mux's plain-text body
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer: the event stream depends on
+// per-line flushes reaching the socket through this wrapper.
+func (w *muxErrWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *muxErrWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// submitOne resolves one decoded config through Submit, mapping the
+// outcomes to (status code, body) for both the single and batch paths.
+func (s *Server) submitOne(cfg core.RunConfig) (int, any) {
+	job, dedup, err := s.Submit(cfg)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, errorBody{errorDetail{
+			Code: CodeQueueFull,
+			Msg:  fmt.Sprintf("admission queue full (%d deep); retry later", s.qcap)}}
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, errorBody{errorDetail{
+			Code: CodeShuttingDown, Msg: "daemon is draining; no new jobs"}}
+	case err != nil:
+		return http.StatusInternalServerError, errorBody{errorDetail{
+			Code: CodeInternal, Msg: err.Error()}}
+	case dedup:
+		return http.StatusOK, status(job, true)
+	default:
+		return http.StatusAccepted, status(job, false)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	cfg, err := DecodeJobConfig(r.Body)
+	if err != nil {
+		var cerr *core.ConfigError
+		errors.As(err, &cerr)
+		writeError(w, http.StatusBadRequest, cerr.Code, cerr.Msg)
+		return
+	}
+	code, body := s.submitOne(cfg)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, body)
+}
+
+// BatchRequest is the body of POST /v1/jobs/batch: raw configs so each
+// item decodes — and fails — independently.
+type BatchRequest struct {
+	Jobs []JobConfig `json:"jobs"`
+}
+
+// BatchItem is one per-item outcome: exactly one of Job or Error set.
+type BatchItem struct {
+	Status int          `json:"status"` // the item's would-be HTTP status
+	Job    *JobStatus   `json:"job,omitempty"`
+	Error  *errorDetail `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors the request order item by item.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadJSON,
+			fmt.Sprintf("bad batch request: %v", err))
+		return
+	}
+	resp := BatchResponse{Items: make([]BatchItem, 0, len(req.Jobs))}
+	for _, jc := range req.Jobs {
+		cfg := jc.RunConfig()
+		if err := cfg.Validate(); err != nil {
+			var cerr *core.ConfigError
+			errors.As(err, &cerr)
+			resp.Items = append(resp.Items, BatchItem{
+				Status: http.StatusBadRequest,
+				Error:  &errorDetail{Code: cerr.Code, Msg: cerr.Msg},
+			})
+			continue
+		}
+		code, body := s.submitOne(cfg)
+		item := BatchItem{Status: code}
+		switch b := body.(type) {
+		case JobStatus:
+			item.Job = &b
+		case errorBody:
+			e := b.Error
+			item.Error = &e
+		}
+		resp.Items = append(resp.Items, item)
+	}
+	// The envelope succeeds even when items fail: per-item status is
+	// the contract, so one bad config cannot mask its siblings.
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob,
+			fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, status(job, false))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob,
+			fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	st, _, digest, src, code, errMsg := job.snapshot()
+	switch {
+	case st == StateDone:
+		job.mu.Lock()
+		body := job.result
+		job.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Result-Digest", digest)
+		w.Header().Set("X-Result-Source", src.String())
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	case st.terminal():
+		writeError(w, http.StatusConflict, CodeJobFailed,
+			fmt.Sprintf("job %s %s (%s): %s", job.ID, st, code, errMsg))
+	default:
+		writeError(w, http.StatusConflict, CodeJobNotDone,
+			fmt.Sprintf("job %s is %s; poll status or follow events", job.ID, st))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob,
+			fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, status(job, false))
+}
